@@ -1,0 +1,47 @@
+"""Shared session fixtures for the benchmark harness.
+
+The expensive artefacts (task analyses, WCRT sweeps, ART simulations) are
+built once per session; each bench times the computation it regenerates
+and writes its rendered table/figure to ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENT_I_SPEC,
+    EXPERIMENT_II_SPEC,
+    ExperimentSuite,
+    build_context,
+)
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def write_artifact(name: str, text: str) -> None:
+    """Persist a rendered table/figure next to the bench results."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / name).write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def context1():
+    return build_context(EXPERIMENT_I_SPEC, miss_penalty=20)
+
+
+@pytest.fixture(scope="session")
+def context2():
+    return build_context(EXPERIMENT_II_SPEC, miss_penalty=20)
+
+
+@pytest.fixture(scope="session")
+def suite1():
+    return ExperimentSuite(EXPERIMENT_I_SPEC)
+
+
+@pytest.fixture(scope="session")
+def suite2():
+    return ExperimentSuite(EXPERIMENT_II_SPEC)

@@ -1,0 +1,51 @@
+"""Ablation: associativity sweep — the L term in Equation 2.
+
+Equation 2 caps every per-set conflict at the number of ways L.  Sweeping
+L at fixed capacity (sets x ways x 16B = 16KB) shows the cap binding for
+direct-mapped caches and relaxing as associativity grows.
+"""
+
+from conftest import write_artifact
+
+from repro.analysis import Approach
+from repro.cache import CacheConfig
+from repro.experiments import EXPERIMENT_II_SPEC, build_context
+from repro.experiments.reporting import Table
+
+#: (ways, num_sets) pairs at constant 16KB capacity.
+GEOMETRIES = ((1, 1024), (2, 512), (4, 256), (8, 128))
+
+
+def _sweep():
+    rows = []
+    for ways, num_sets in GEOMETRIES:
+        cache = CacheConfig(
+            num_sets=num_sets, ways=ways, line_size=16, miss_penalty=20
+        )
+        context = build_context(EXPERIMENT_II_SPEC, cache=cache)
+        estimate = context.crpd.estimate_pair("adpcmc", "adpcmd")
+        rows.append(
+            (
+                ways,
+                num_sets,
+                estimate.lines[Approach.BUSQUETS],
+                estimate.lines[Approach.INTERTASK],
+                estimate.lines[Approach.LEE],
+                estimate.lines[Approach.COMBINED],
+            )
+        )
+    return rows
+
+
+def test_ablation_assoc(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = Table(
+        title="Ablation: associativity sweep at 16KB (ADPCMC by ADPCMD)",
+        headers=["ways", "sets", "App. 1", "App. 2", "App. 3", "App. 4"],
+    )
+    for row in rows:
+        table.add_row(*row)
+        _, _, app1, app2, app3, app4 = row
+        assert app4 <= min(app2, app3)
+        assert app2 <= app1
+    write_artifact("ablation_assoc.txt", table.render())

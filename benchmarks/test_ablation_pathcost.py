@@ -1,0 +1,49 @@
+"""Ablation: Equation 3 vs Equation 4 — what Section VI path analysis buys.
+
+Equation 3 intersects the preempted task's MUMBS with the preempting
+task's *whole* footprint; Equation 4 restricts the preempting side to one
+feasible path and takes the worst path.  For single-path preemptors the
+two coincide; for ED (two operator paths) Equation 4 must be tighter.
+"""
+
+from conftest import write_artifact
+
+from repro.analysis.intertask import eq3_lines
+from repro.analysis.pathcost import approach4_lines
+from repro.experiments.reporting import Table
+
+
+def _gaps(context):
+    rows = []
+    order = list(context.priority_order)
+    for low_index in range(len(order) - 1, 0, -1):
+        preempted_name = order[low_index]
+        for preempting_name in order[:low_index]:
+            preempted = context.artifacts[preempted_name]
+            preempting = context.artifacts[preempting_name]
+            eq3 = eq3_lines(preempted, preempting)
+            eq4 = approach4_lines(preempted, preempting, mumbs_mode="paper")
+            paths = len(preempting.path_profiles)
+            rows.append(
+                (f"{preempted_name.upper()} by {preempting_name.upper()}",
+                 paths, eq3, eq4)
+            )
+    return rows
+
+
+def test_ablation_pathcost(benchmark, context1, context2):
+    rows1 = benchmark(_gaps, context1)
+    rows2 = _gaps(context2)
+    table = Table(
+        title="Ablation: Equation 3 (no path analysis) vs Equation 4",
+        headers=["Preemption", "paths", "Eq.3 lines", "Eq.4 lines"],
+    )
+    for name, paths, eq3, eq4 in rows1 + rows2:
+        assert eq4 <= eq3, name
+        if paths == 1:
+            assert eq4 == eq3, f"{name}: single path must make Eq.4 == Eq.3"
+        table.add_row(name, paths, eq3, eq4)
+    # ED is the only multi-path preemptor; path analysis must help there.
+    ed_rows = [r for r in rows1 if "by ED" in r[0]]
+    assert ed_rows and all(r[3] < r[2] for r in ed_rows)
+    write_artifact("ablation_pathcost.txt", table.render())

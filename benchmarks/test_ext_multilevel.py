@@ -1,0 +1,80 @@
+"""Extension bench: two-level hierarchy CRPD (the paper's future work).
+
+Runs Experiment I's three tasks on an L1(4KB)+L2(32KB) stack, computes
+the per-level reload bounds and the combined Cpre (Eq. 5'), and shows how
+much an L1-only analysis would under-charge when memory sits far behind
+the L2.
+"""
+
+from conftest import write_artifact
+
+from repro.analysis import ALL_APPROACHES, Approach
+from repro.analysis.multilevel import HierarchicalCRPD, analyze_task_hierarchy
+from repro.cache import CacheConfig, HierarchyConfig
+from repro.experiments import EXPERIMENT_I_SPEC
+from repro.experiments.reporting import Table
+from repro.program import SystemLayout
+
+HIERARCHY = HierarchyConfig(
+    l1=CacheConfig(num_sets=64, ways=4, line_size=16, miss_penalty=8),
+    l2=CacheConfig(num_sets=256, ways=4, line_size=32, miss_penalty=60),
+)
+
+
+def _analyse():
+    spec = EXPERIMENT_I_SPEC
+    workloads = {name: build() for name, build in spec.builders.items()}
+    layout = SystemLayout(stride=spec.stride)
+    for name in spec.placement_order:
+        layout.place(workloads[name].program)
+    artifacts = {
+        name: analyze_task_hierarchy(
+            layout.layout_of(name), workloads[name].scenario_map(), HIERARCHY
+        )
+        for name in spec.priority_order
+    }
+    return HierarchicalCRPD(artifacts, mumbs_mode="paper"), spec
+
+
+def test_multilevel_crpd(benchmark):
+    crpd, spec = benchmark.pedantic(_analyse, rounds=1, iterations=1)
+    table = Table(
+        title="Extension: two-level CRPD (Experiment I on L1 4KB + L2 32KB)",
+        headers=["Preemption", "Approach", "L1 lines", "L2 lines",
+                 "Cpre (Eq.5')", "Cpre (L1-only)"],
+        notes=["L1 refill = 8 cycles, L2 miss = 60 cycles"],
+    )
+    order = list(spec.priority_order)
+    for low_index in range(len(order) - 1, 0, -1):
+        preempted = order[low_index]
+        for preempting in order[:low_index]:
+            for approach in ALL_APPROACHES:
+                l1_lines, l2_lines = crpd.lines_reloaded(
+                    preempted, preempting, approach
+                )
+                full = crpd.cpre(preempted, preempting, approach)
+                l1_only = crpd.cpre_l1_only(preempted, preempting, approach)
+                assert l1_only <= full
+                table.add_row(
+                    f"{preempted.upper()} by {preempting.upper()}",
+                    f"App.{approach.value}",
+                    l1_lines,
+                    l2_lines,
+                    full,
+                    l1_only,
+                )
+    # Approach ordering must hold at both levels for every pair.
+    for low_index in range(len(order) - 1, 0, -1):
+        preempted = order[low_index]
+        for preempting in order[:low_index]:
+            lines = {
+                a: crpd.lines_reloaded(preempted, preempting, a)
+                for a in ALL_APPROACHES
+            }
+            for level in (0, 1):
+                assert (
+                    lines[Approach.COMBINED][level]
+                    <= lines[Approach.INTERTASK][level]
+                    <= lines[Approach.BUSQUETS][level]
+                )
+    write_artifact("ext_multilevel.txt", table.render())

@@ -1,0 +1,68 @@
+"""Extension bench: schedulability headroom per CRPD approach.
+
+Quantifies the paper's motivation ("pessimistic estimates of execution
+times may lower the utilization of resources", Section I): for each
+approach, the critical WCET scaling factor and the breakdown cache-miss
+penalty of Experiment I.  Tighter CRPD analysis -> more admitted load.
+"""
+
+from conftest import write_artifact
+
+from repro.analysis import (
+    ALL_APPROACHES,
+    PenaltyModel,
+    breakdown_miss_penalty,
+    critical_scaling_factor,
+)
+from repro.experiments import EXPERIMENT_I_SPEC, build_context
+from repro.experiments.reporting import Table
+
+
+def _sweep():
+    context = build_context(EXPERIMENT_I_SPEC, miss_penalty=20)
+    context40 = build_context(EXPERIMENT_I_SPEC, miss_penalty=40)
+    model = PenaltyModel.calibrate(
+        {n: a.wcet.cycles for n, a in context.artifacts.items()},
+        {n: a.wcet.cycles for n, a in context40.artifacts.items()},
+        20,
+        40,
+    )
+    rows = []
+    ccs = context.spec.context_switch_cycles
+    for approach in ALL_APPROACHES:
+        factor = critical_scaling_factor(
+            context.system,
+            cpre=lambda l, h, a=approach: context.crpd.cpre(l, h, a),
+            context_switch=ccs,
+        )
+        breakdown = breakdown_miss_penalty(
+            context.system, context.crpd, model, approach, context_switch=ccs
+        )
+        rows.append((approach, factor, breakdown))
+    return rows
+
+
+def test_sensitivity(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = Table(
+        title="Extension: schedulability headroom per approach (Experiment I)",
+        headers=["Approach", "critical WCET scaling", "breakdown Cmiss"],
+        notes=[
+            "critical scaling: max factor on every WCET that stays schedulable",
+            "breakdown Cmiss: largest miss penalty that stays schedulable",
+        ],
+    )
+    by_approach = {}
+    for approach, factor, breakdown in rows:
+        table.add_row(f"App.{approach.value}", round(factor, 3), breakdown)
+        by_approach[approach] = (factor, breakdown)
+    from repro.analysis import Approach
+
+    # The combined approach never has less headroom than the others.
+    combined = by_approach[Approach.COMBINED]
+    for approach, values in by_approach.items():
+        assert combined[0] >= values[0] - 1e-6, approach
+        assert combined[1] >= values[1], approach
+    # And it has strictly more breakdown-penalty headroom than Approach 1.
+    assert combined[1] > by_approach[Approach.BUSQUETS][1]
+    write_artifact("ext_sensitivity.txt", table.render())

@@ -1,0 +1,89 @@
+"""Extension bench: scalability study on generated task sets.
+
+Sweeps the task count (the paper stops at 3) and reports, per set size,
+the WCRT of the lowest-priority task under each approach plus the
+simulator's measured response — the paper's comparison extended to wider
+systems.  Complexity note (Section VII): the analysis cost grows with the
+number of preemption pairs, i.e. quadratically in the task count.
+"""
+
+from conftest import write_artifact
+
+from repro.analysis import ALL_APPROACHES, Approach, CRPDAnalyzer, analyze_task
+from repro.cache import CacheConfig, CacheState
+from repro.experiments.reporting import Table
+from repro.program import SystemLayout
+from repro.sched import Simulator, TaskBinding
+from repro.wcrt import TaskSpec, TaskSystem, compute_system_wcrt
+from repro.workloads import generate_task_set
+
+CCS = 500
+
+
+def _run_size(count: int, seed: int = 13):
+    system = generate_task_set(count=count, total_utilisation=0.55, seed=seed)
+    config = CacheConfig.scaled_8k()
+    layout = SystemLayout(stride=0x1B00)
+    artifacts = {}
+    for name in system.priority_order:
+        placed = layout.place(system.workloads[name].program)
+        artifacts[name] = analyze_task(
+            placed, system.workloads[name].scenario_map(), config
+        )
+    crpd = CRPDAnalyzer(artifacts)
+    # Real periods from measured WCETs: P_k = C_k * 1.8n keeps the base
+    # utilisation near 1/1.8 = 0.55 at every task count, leaving headroom
+    # for the CRPD and context-switch load.
+    specs = []
+    for index, name in enumerate(system.priority_order):
+        wcet = artifacts[name].wcet.cycles
+        period = int(wcet * 1.8 * count)
+        specs.append(TaskSpec(name=name, wcet=wcet, period=period,
+                              priority=index + 1))
+    task_system = TaskSystem(tasks=specs)
+    lowest = system.priority_order[-1]
+
+    wcrts = {}
+    for approach in ALL_APPROACHES:
+        wcrts[approach] = compute_system_wcrt(
+            task_system,
+            cpre=lambda l, h, a=approach: crpd.cpre(l, h, a),
+            context_switch=CCS,
+            stop_at_deadline=False,
+        ).wcrt(lowest)
+
+    bindings = [
+        TaskBinding(
+            spec=task_system.task(name),
+            layout=layout.layout_of(name),
+            inputs=dict(system.workloads[name].scenario("gen").inputs),
+        )
+        for name in system.priority_order
+    ]
+    simulator = Simulator(bindings, cache=CacheState(config),
+                          context_switch_cycles=CCS)
+    horizon = min(4 * max(spec.period for spec in specs), 3_000_000)
+    result = simulator.run(horizon)
+    art = result.actual_response_time(lowest)
+    return count, wcrts, art, task_system.utilization
+
+
+def test_synthetic_scalability(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [_run_size(count) for count in (3, 4, 5, 6)],
+        rounds=1, iterations=1,
+    )
+    table = Table(
+        title="Extension: synthetic task-set sweep (lowest-priority WCRT)",
+        headers=["tasks", "util"] + [f"App.{a.value}" for a in ALL_APPROACHES]
+        + ["ART"],
+    )
+    for count, wcrts, art, utilisation in rows:
+        table.add_row(
+            count, round(utilisation, 2),
+            *[wcrts[a] for a in ALL_APPROACHES], art,
+        )
+        # Soundness and the App4-minimal property at every size.
+        assert art <= min(wcrts.values()), (count, art, wcrts)
+        assert wcrts[Approach.COMBINED] == min(wcrts.values())
+    write_artifact("ext_synthetic.txt", table.render())

@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 2 (cache vs memory address decomposition)."""
+
+from conftest import write_artifact
+
+from repro.cache import CacheConfig
+from repro.experiments import figure2_mapping
+
+
+def _decompose_many(config, count=4096):
+    return [config.decompose(address) for address in range(0, count * 4, 4)]
+
+
+def test_figure2(benchmark, ):
+    config = CacheConfig.example2_1k()
+    parts = benchmark(_decompose_many, config)
+    assert len(parts) == 4096
+    text = figure2_mapping()
+    assert "cs(1)" in text
+    write_artifact("figure2.txt", text)

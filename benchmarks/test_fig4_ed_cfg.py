@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 4 (the ED control-flow graph / SFP-PrS view)."""
+
+from conftest import write_artifact
+
+from repro.experiments import figure4_ed_cfg
+from repro.program import enumerate_path_profiles, sfp_prs_segments
+from repro.workloads import build_edge_detection
+
+
+def _segment_and_paths():
+    workload = build_edge_detection()
+    segments = sfp_prs_segments(workload.program)
+    paths = enumerate_path_profiles(workload.program)
+    return segments, paths
+
+
+def test_figure4(benchmark):
+    segments, paths = benchmark(_segment_and_paths)
+    assert len(paths) == 2  # Sobel vs Cauchy (Example 5)
+    assert any(s.kind == "decision" for s in segments)
+    assert any(s.kind == "loop" and s.single_feasible_path for s in segments)
+    write_artifact("figure4.txt", figure4_ed_cfg())

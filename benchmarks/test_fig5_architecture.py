@@ -1,0 +1,30 @@
+"""Bench: regenerate Figure 5 (simulation architecture) and exercise it.
+
+The figure itself is static; the bench validates the stack it depicts by
+running a short three-task simulation through every layer (workloads ->
+scheduler -> VM -> cache).
+"""
+
+from conftest import write_artifact
+
+from repro.cache import CacheState
+from repro.experiments import figure5_architecture
+from repro.sched import Simulator
+
+
+def _exercise_stack(context):
+    simulator = Simulator(
+        context.bindings(),
+        cache=CacheState(context.config),
+        context_switch_cycles=context.spec.context_switch_cycles,
+    )
+    result = simulator.run(min(200_000, context.system.hyperperiod))
+    return result
+
+
+def test_figure5(benchmark, context2):
+    result = benchmark(_exercise_stack, context2)
+    assert result.jobs
+    text = figure5_architecture()
+    assert "repro.sched" in text
+    write_artifact("figure5.txt", text)

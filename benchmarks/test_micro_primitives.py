@@ -1,0 +1,104 @@
+"""Micro-benchmarks of the substrate primitives.
+
+Not a paper table — these track the cost of the building blocks every
+experiment leans on: LRU cache access, VM instruction dispatch, RMB/LMB
+fixpoint solving, CIIP intersection and the WCRT iteration.
+"""
+
+from repro.analysis import analyze_task, solve_rmb_lmb
+from repro.analysis.rmb_lmb import solve_rmb_lmb as _solve
+from repro.cache import CIIP, CacheConfig, CacheState, conflict_bound
+from repro.program import ProgramBuilder, SystemLayout
+from repro.vm import Machine, NodeTraceAggregate, TraceRecorder
+from repro.wcrt import TaskSpec, TaskSystem, compute_system_wcrt
+
+
+def test_cache_access_throughput(benchmark):
+    config = CacheConfig.scaled_16k()
+    cache = CacheState(config)
+    addresses = [(i * 52) % 0x8000 for i in range(4096)]
+
+    def run():
+        return cache.touch_all(addresses)
+
+    benchmark(run)
+    assert cache.stats.accesses > 0
+
+
+def test_vm_instruction_throughput(benchmark):
+    b = ProgramBuilder("bench")
+    data = b.array("data", words=64)
+    out = b.array("out", words=64)
+    with b.loop(32):
+        with b.loop(64) as i:
+            b.load("v", data, index=i)
+            b.binop("v", "mul", "v", 3)
+            b.binop("v", "add", "v", 1)
+            b.store("v", out, index=i)
+    program = b.build()
+    layout = SystemLayout().place(program)
+    config = CacheConfig.scaled_16k()
+
+    def run():
+        machine = Machine(layout=layout, cache=CacheState(config))
+        machine.write_array("data", list(range(64)))
+        machine.run()
+        return machine.steps
+
+    steps = benchmark(run)
+    assert steps > 10_000
+
+
+def test_rmb_lmb_fixpoint(benchmark):
+    from repro.workloads import build_ofdm
+
+    config = CacheConfig.scaled_16k()
+    workload = build_ofdm()
+    layout = SystemLayout().place(workload.program)
+    trace = TraceRecorder()
+    machine = Machine(layout=layout, cache=CacheState(config), trace=trace)
+    for name, values in workload.scenarios[0].inputs.items():
+        machine.write_array(name, values)
+    machine.run()
+    aggregate = NodeTraceAggregate.from_recorders(config, [trace])
+
+    result = benchmark(_solve, workload.program.cfg, aggregate, config)
+    assert result.entry_rmb
+
+
+def test_ciip_conflict_bound(benchmark):
+    config = CacheConfig.scaled_16k()
+    a = CIIP.from_addresses(config, [i * 48 for i in range(600)])
+    b = CIIP.from_addresses(config, [4096 + i * 80 for i in range(400)])
+
+    bound = benchmark(conflict_bound, a, b)
+    assert bound > 0
+
+
+def test_full_task_analysis(benchmark):
+    """End-to-end analyze_task on the ED workload (the per-task pipeline)."""
+    from repro.workloads import build_edge_detection
+
+    config = CacheConfig.scaled_16k()
+    workload = build_edge_detection()
+    layout = SystemLayout().place(workload.program)
+
+    art = benchmark.pedantic(
+        analyze_task, args=(layout, workload.scenario_map(), config),
+        rounds=2, iterations=1,
+    )
+    assert art.wcet.cycles > 0
+
+
+def test_wcrt_iteration(benchmark):
+    system = TaskSystem(
+        tasks=[
+            TaskSpec(name=f"t{i}", wcet=100 + 37 * i, period=1000 * (i + 1), priority=i)
+            for i in range(8)
+        ]
+    )
+
+    result = benchmark(
+        compute_system_wcrt, system, cpre=lambda l, h: 40, context_switch=20
+    )
+    assert len(result.results) == 8

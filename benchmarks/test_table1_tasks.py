@@ -1,0 +1,17 @@
+"""Bench: regenerate Table I (task WCET / period / priority)."""
+
+from conftest import write_artifact
+
+from repro.experiments import table1_tasks
+
+
+def test_table1(benchmark, context1, context2):
+    contexts = {"exp1": context1, "exp2": context2}
+    table = benchmark(table1_tasks, contexts)
+    assert len(table.rows) == 6
+    # Paper Table I structure: per experiment, WCET < period, RMA priorities.
+    for wcet, period in zip(
+        table.column("WCET (cycles)"), table.column("Period (cycles)")
+    ):
+        assert 0 < wcet < period
+    write_artifact("table1.txt", table.render())

@@ -1,0 +1,42 @@
+"""Bench: regenerate Table III (Experiment I WCRT estimates vs ART)."""
+
+from conftest import write_artifact
+
+from repro.analysis import ALL_APPROACHES, Approach
+from repro.experiments import MISS_PENALTIES, table_wcrt
+from repro.wcrt import compute_system_wcrt
+
+
+def _wcrt_sweep(suite):
+    """The Equation-7 fixpoint iterations across penalties and approaches."""
+    results = {}
+    for penalty in MISS_PENALTIES:
+        context = suite.context(penalty)
+        for approach in ALL_APPROACHES:
+            results[(penalty, approach)] = compute_system_wcrt(
+                context.system,
+                cpre=lambda l, h, a=approach: context.crpd.cpre(l, h, a),
+                context_switch=context.spec.context_switch_cycles,
+                stop_at_deadline=False,
+            )
+    return results
+
+
+def test_table3(benchmark, suite1):
+    # Warm the per-penalty contexts and the ART simulations first so the
+    # benchmark isolates the WCRT iteration itself.
+    for penalty in MISS_PENALTIES:
+        suite1.art(penalty)
+    results = benchmark(_wcrt_sweep, suite1)
+
+    for penalty in MISS_PENALTIES:
+        art = suite1.art(penalty)
+        for task in suite1.preempted_tasks():
+            for approach in ALL_APPROACHES:
+                estimate = results[(penalty, approach)].wcrt(task)
+                assert art[task] <= estimate, (task, penalty, approach)
+            ours = results[(penalty, Approach.COMBINED)].wcrt(task)
+            for other in ALL_APPROACHES:
+                assert ours <= results[(penalty, other)].wcrt(task)
+
+    write_artifact("table3.txt", table_wcrt(suite1).render())

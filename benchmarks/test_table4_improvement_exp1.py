@@ -1,0 +1,21 @@
+"""Bench: regenerate Table IV (Experiment I improvement percentages)."""
+
+from conftest import write_artifact
+
+from repro.experiments import MISS_PENALTIES, table_improvement
+
+
+def test_table4(benchmark, suite1):
+    for penalty in MISS_PENALTIES:
+        suite1.context(penalty)
+    table = benchmark(table_improvement, suite1)
+    assert len(table.rows) == 6  # 3 baselines x 2 preempted tasks
+    for row in table.rows:
+        cells = row[2:]
+        assert all(c >= 0.0 for c in cells), row
+    # Improvement vs Approach 1 grows with the miss penalty for OFDM.
+    ofdm_vs_app1 = next(
+        row for row in table.rows if row[0] == "App.4 vs App.1" and row[1] == "OFDM"
+    )
+    assert ofdm_vs_app1[-1] > ofdm_vs_app1[2]
+    write_artifact("table4.txt", table.render())

@@ -1,0 +1,30 @@
+"""Bench: regenerate Table V (Experiment II WCRT estimates vs ART)."""
+
+from conftest import write_artifact
+
+from repro.analysis import ALL_APPROACHES, Approach
+from repro.experiments import MISS_PENALTIES, table_wcrt
+
+
+def _collect(suite):
+    rows = {}
+    for penalty in MISS_PENALTIES:
+        for approach in ALL_APPROACHES:
+            wcrt = suite.wcrt(penalty, approach)
+            for task in suite.preempted_tasks():
+                rows[(penalty, approach, task)] = wcrt.wcrt(task)
+    return rows
+
+
+def test_table5(benchmark, suite2):
+    rows = benchmark(_collect, suite2)
+    for penalty in MISS_PENALTIES:
+        art = suite2.art(penalty)
+        for task in suite2.preempted_tasks():
+            for approach in ALL_APPROACHES:
+                assert art[task] <= rows[(penalty, approach, task)]
+    # The dramatic Approach-1 blow-up at Cmiss=40 (paper Table V shape).
+    assert rows[(40, Approach.BUSQUETS, "adpcmc")] > 1.3 * rows[
+        (40, Approach.COMBINED, "adpcmc")
+    ]
+    write_artifact("table5.txt", table_wcrt(suite2).render())

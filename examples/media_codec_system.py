@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Experiment II end-to-end: the paper's media pipeline (ADPCMC/ADPCMD/IDCT).
+
+Rebuilds the paper's second task set — the MediaBench ADPCM coder and
+decoder plus an MPEG-2-style IDCT — and walks through the analysis the
+paper reports in Tables II/V/VI, including the Approach-1 WCRT blow-up at
+high cache-miss penalties and the crossover cell where Lee's intra-task
+analysis (Approach 3) beats the pure footprint intersection (Approach 2).
+
+Run:  python examples/media_codec_system.py
+"""
+
+from repro.analysis import Approach
+from repro.experiments import (
+    EXPERIMENT_II_SPEC,
+    ExperimentSuite,
+    table2_cache_lines,
+    table_improvement,
+    table_wcrt,
+)
+
+
+def main():
+    suite = ExperimentSuite(EXPERIMENT_II_SPEC)
+    context = suite.context(20)
+
+    print(context.spec.title)
+    print(f"  utilisation: {context.system.utilization:.2f}")
+    for name in context.priority_order:
+        art = context.artifacts[name]
+        spec = context.system.task(name)
+        print(f"  {name.upper():7s} wcet={art.wcet.cycles:6d} "
+              f"period={spec.period:7d} priority={spec.priority} "
+              f"footprint={len(art.footprint):3d} "
+              f"useful={len(art.useful.mumbs()):3d}")
+
+    print()
+    print(table2_cache_lines(context).render())
+
+    # The crossover cell: ADPCMC preempted by ADPCMD.
+    estimate = context.crpd.estimate_pair("adpcmc", "adpcmd")
+    print(f"\ncrossover cell (paper Table II): {estimate.describe()}")
+    if estimate.lines[Approach.LEE] < estimate.lines[Approach.INTERTASK]:
+        print("  -> Lee's useful-block analysis beats the footprint "
+              "intersection here; only the combined Approach 4 beats both.")
+
+    print()
+    print(table_wcrt(suite).render())
+    print()
+    print(table_improvement(suite).render())
+
+    # The Approach-1 blow-up: cascading preemption windows at Cmiss=40.
+    print("\nWCRT growth of ADPCMC with the cache-miss penalty:")
+    for penalty in suite.penalties:
+        app1 = suite.wcrt(penalty, Approach.BUSQUETS).wcrt("adpcmc")
+        app4 = suite.wcrt(penalty, Approach.COMBINED).wcrt("adpcmc")
+        art = suite.art(penalty)["adpcmc"]
+        bar = "#" * min(80, app1 // 6000)
+        print(f"  Cmiss={penalty:2d} App1={app1:7d} App4={app4:7d} "
+              f"ART={art:7d} |{bar}")
+    print("\nthe response-time recurrence amplifies CRPD differences: a "
+          "larger per-preemption cost pushes the response past another "
+          "release, adding a whole extra preemption window (the paper's "
+          "Table V shape).")
+
+
+if __name__ == "__main__":
+    main()

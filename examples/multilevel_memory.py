@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Two-level memory hierarchy analysis — the paper's future work, built out.
+
+Section IX of the paper: "we plan to expand our analysis approach for
+systems with more than two-level memory hierarchy."  This example runs
+Experiment I's task set on an L1(4KB) + L2(32KB) stack, computes the
+per-level reload bounds with all four approaches, combines them into the
+extended per-preemption cost (Eq. 5'), and shows what a naive L1-only
+analysis would miss when memory sits far behind the L2.
+
+Run:  python examples/multilevel_memory.py
+"""
+
+from repro.analysis import ALL_APPROACHES, Approach
+from repro.analysis.multilevel import HierarchicalCRPD, analyze_task_hierarchy
+from repro.cache import CacheConfig, HierarchyConfig, MemoryHierarchy
+from repro.experiments import EXPERIMENT_I_SPEC
+from repro.program import SystemLayout
+
+HIERARCHY = HierarchyConfig(
+    l1=CacheConfig(num_sets=64, ways=4, line_size=16, miss_penalty=8),
+    l2=CacheConfig(num_sets=256, ways=4, line_size=32, miss_penalty=60),
+)
+
+
+def main():
+    spec = EXPERIMENT_I_SPEC
+    print(f"hierarchy: L1 {HIERARCHY.l1.size_bytes // 1024}KB "
+          f"({HIERARCHY.l1.miss_penalty}-cycle refill from L2), "
+          f"L2 {HIERARCHY.l2.size_bytes // 1024}KB "
+          f"({HIERARCHY.l2.miss_penalty}-cycle refill from memory)\n")
+
+    workloads = {name: build() for name, build in spec.builders.items()}
+    layout = SystemLayout(stride=spec.stride)
+    for name in spec.placement_order:
+        layout.place(workloads[name].program)
+
+    artifacts = {}
+    for name in spec.priority_order:
+        artifacts[name] = analyze_task_hierarchy(
+            layout.layout_of(name), workloads[name].scenario_map(), HIERARCHY
+        )
+        art = artifacts[name]
+        print(f"  {name.upper():5s} stack-WCET={art.wcet.cycles:6d}  "
+              f"L1 footprint={len(art.l1.footprint):3d} blocks  "
+              f"L2 footprint={len(art.l2.footprint):3d} blocks")
+
+    crpd = HierarchicalCRPD(artifacts, mumbs_mode="paper")
+    print("\nper-preemption reload bounds (L1 lines / L2 lines -> cycles):")
+    order = list(spec.priority_order)
+    for low_index in range(len(order) - 1, 0, -1):
+        preempted = order[low_index]
+        for preempting in order[:low_index]:
+            print(f"  {preempted.upper()} by {preempting.upper()}:")
+            for approach in ALL_APPROACHES:
+                l1, l2 = crpd.lines_reloaded(preempted, preempting, approach)
+                full = crpd.cpre(preempted, preempting, approach)
+                naive = crpd.cpre_l1_only(preempted, preempting, approach)
+                delta = full - naive
+                print(f"    App.{approach.value}: {l1:3d}/{l2:3d} -> "
+                      f"{full:5d} cycles  (L1-only would charge {naive}, "
+                      f"missing {delta})")
+
+    # Demonstrate the stack in action: ED's first run cold vs L2-warm.
+    ed_layout = layout.layout_of("ed")
+    from repro.vm import run_isolated
+
+    stack = MemoryHierarchy(HIERARCHY)
+    inputs = dict(workloads["ed"].scenario("sobel").inputs)
+    cold = run_isolated(ed_layout, stack, inputs=inputs)
+    stack.invalidate_l1()  # an L1-flushing preemption; L2 stays warm
+    warm = run_isolated(ed_layout, stack, inputs=inputs)
+    print(f"\nED cold-stack run: {cold.cycles} cycles; "
+          f"after an L1-only flush (L2 warm): {warm.cycles} cycles")
+    print("the L2 absorbs most of the reload cost — exactly the effect the "
+          "two-level Cpre (Eq. 5') models.")
+
+
+if __name__ == "__main__":
+    main()

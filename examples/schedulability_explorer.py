@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Schedulability exploration: how much CRPD precision buys admission.
+
+The point of tighter WCRT analysis (paper Section I) is resource
+utilisation: a pessimistic estimate rejects task sets that would actually
+meet their deadlines.  This example shows two things on the Experiment II
+task set:
+
+1. the admission verdict at the baseline periods as the cache-miss
+   penalty grows — pessimistic approaches start rejecting a system that
+   demonstrably meets its deadlines on the simulator, and
+2. a period sweep at a fixed penalty: the tightest ADPCMC period each
+   approach admits.
+
+Run:  python examples/schedulability_explorer.py
+"""
+
+from repro.analysis import ALL_APPROACHES, Approach
+from repro.experiments import EXPERIMENT_II_SPEC, build_context
+from repro.wcrt import TaskSpec, TaskSystem, compute_system_wcrt
+
+
+def analysis_with_period(context, approach, adpcmc_period):
+    """Re-run the Eq.7 analysis with a modified ADPCMC period."""
+    tasks = [
+        TaskSpec(
+            name=task.name,
+            wcet=task.wcet,
+            period=adpcmc_period if task.name == "adpcmc" else task.period,
+            priority=task.priority,
+        )
+        for task in context.system.tasks
+    ]
+    system = TaskSystem(tasks=tasks)
+    return compute_system_wcrt(
+        system,
+        cpre=lambda low, high: context.crpd.cpre(low, high, approach),
+        context_switch=context.spec.context_switch_cycles,
+    )
+
+
+def admission_at_baseline():
+    print("1. admission of the baseline system vs cache-miss penalty")
+    print("   (periods as in Table I; 'yes' = all deadlines proven)\n")
+    header = f"   {'Cmiss':>5} | " + " | ".join(
+        f"App.{a.value}" for a in ALL_APPROACHES
+    ) + " | deadline misses in simulation"
+    print(header)
+    print("   " + "-" * (len(header) - 3))
+    for penalty in (10, 20, 30, 40):
+        context = build_context(EXPERIMENT_II_SPEC, miss_penalty=penalty)
+        verdicts = []
+        for approach in ALL_APPROACHES:
+            wcrt = analysis_with_period(
+                context, approach, context.spec.periods["adpcmc"]
+            )
+            verdicts.append(" yes " if wcrt.schedulable else "  NO ")
+        misses = len(context.simulate().deadline_misses())
+        print(f"   {penalty:>5} | " + " | ".join(verdicts) + f" | {misses}")
+    print(
+        "\n   at high miss penalties Approaches 1 and 3 reject a system the\n"
+        "   simulator shows meeting every deadline; Approach 4 admits it.\n"
+    )
+
+
+def period_sweep(penalty=30):
+    context = build_context(EXPERIMENT_II_SPEC, miss_penalty=penalty)
+    base_period = context.spec.periods["adpcmc"]
+    print(f"2. tightest admitted ADPCMC period (Cmiss={penalty})\n")
+    tightest: dict[Approach, int | None] = {a: None for a in ALL_APPROACHES}
+    for period in range(base_period, 150_000, -6_000):
+        for approach in ALL_APPROACHES:
+            if analysis_with_period(context, approach, period).schedulable:
+                tightest[approach] = period
+    for approach in ALL_APPROACHES:
+        admitted = tightest[approach]
+        text = str(admitted) if admitted else "none in sweep"
+        print(f"   Approach {approach.value}: {text}")
+    app1 = tightest[Approach.BUSQUETS]
+    app4 = tightest[Approach.COMBINED]
+    if app1 and app4 and app4 < app1:
+        gain = (app1 - app4) / app1 * 100
+        print(
+            f"\n   Approach 4 admits a {gain:.0f}% shorter ADPCMC period than "
+            f"Approach 1 —\n   the utilisation headroom the paper's analysis "
+            f"recovers."
+        )
+
+
+def main():
+    admission_at_baseline()
+    period_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""repro — CRPD-aware WCRT analysis for preemptive multi-tasking systems.
+
+Reproduction of *"Timing Analysis for Preemptive Multi-tasking Real-Time
+Systems with Caches"* (Tan & Mooney, DATE 2004).  The package provides:
+
+* :mod:`repro.cache` — set-associative LRU cache model and CIIP bounds,
+* :mod:`repro.program` — a small IR, CFGs, a structured builder and
+  feasible-path enumeration,
+* :mod:`repro.vm` — a cycle-level virtual machine with trace capture,
+* :mod:`repro.analysis` — WCET, RMB/LMB, useful blocks and the four CRPD
+  estimation approaches,
+* :mod:`repro.wcrt` — the response-time iteration (Equations 6/7),
+* :mod:`repro.sched` — a preemptive FPS simulator measuring actual
+  response times over a shared cache,
+* :mod:`repro.workloads` — the paper's six benchmarks re-implemented in
+  the IR,
+* :mod:`repro.experiments` — regeneration of every table and figure.
+"""
+
+from repro.cache import CacheConfig, CacheState, CIIP, conflict_bound
+from repro.analysis import Approach, CRPDAnalyzer, TaskArtifacts, analyze_task
+from repro.wcrt import TaskSpec, TaskSystem, compute_system_wcrt
+from repro.sched import Simulator, TaskBinding
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "CacheState",
+    "CIIP",
+    "conflict_bound",
+    "Approach",
+    "CRPDAnalyzer",
+    "TaskArtifacts",
+    "analyze_task",
+    "TaskSpec",
+    "TaskSystem",
+    "compute_system_wcrt",
+    "Simulator",
+    "TaskBinding",
+    "__version__",
+]

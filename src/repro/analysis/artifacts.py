@@ -1,0 +1,96 @@
+"""Per-task analysis artifacts: one simulation pass feeding every analysis.
+
+``analyze_task`` is the front door used by experiments and examples: given
+a laid-out program and its input scenarios it measures the WCET, aggregates
+memory traces, computes the task footprint and its CIIP, solves the RMB/LMB
+dataflow, derives the useful-block analysis and enumerates feasible paths.
+The resulting :class:`TaskArtifacts` bundle is what the CRPD estimators
+(:mod:`repro.analysis.crpd`) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.rmb_lmb import RMBLMBResult, solve_rmb_lmb
+from repro.analysis.useful import UsefulBlocksAnalysis, compute_useful_blocks
+from repro.analysis.wcet import Scenarios, WCETResult, measure_wcet
+from repro.cache.ciip import CIIP
+from repro.cache.config import CacheConfig
+from repro.program.builder import Program
+from repro.program.layout import ProgramLayout
+from repro.program.paths import PathProfile, enumerate_path_profiles
+from repro.vm.trace import NodeTraceAggregate
+
+
+@dataclass
+class TaskArtifacts:
+    """Everything the CRPD and WCRT analyses need to know about one task."""
+
+    name: str
+    layout: ProgramLayout
+    config: CacheConfig
+    wcet: WCETResult
+    aggregate: NodeTraceAggregate
+    footprint: frozenset[int]
+    footprint_ciip: CIIP
+    dataflow: RMBLMBResult
+    useful: UsefulBlocksAnalysis
+    path_profiles: list[PathProfile]
+
+    @property
+    def program(self) -> Program:
+        return self.layout.program
+
+    def per_node_blocks(self) -> dict[str, frozenset[int]]:
+        """Memory blocks referenced per CFG node (for path footprints)."""
+        return self.aggregate.per_node_blocks()
+
+    def mumbs_ciip(self) -> CIIP:
+        """CIIP of the task's Maximum Useful Memory Blocks Set (``M̃``)."""
+        return self.useful.mumbs_ciip()
+
+    def summary(self) -> dict[str, int]:
+        """Headline numbers for reports and quick sanity checks."""
+        return {
+            "wcet_cycles": self.wcet.cycles,
+            "footprint_blocks": len(self.footprint),
+            "mumbs_blocks": len(self.useful.mumbs()),
+            "feasible_paths": len(self.path_profiles),
+            "cfg_blocks": len(self.program.cfg.labels()),
+        }
+
+
+def analyze_task(
+    layout: ProgramLayout,
+    scenarios: Scenarios,
+    config: CacheConfig,
+    max_steps: int = 10_000_000,
+) -> TaskArtifacts:
+    """Run the full single-task analysis pipeline (Section III-B steps 1-2).
+
+    Step 1 — derive memory traces by simulation (one cold-cache run per
+    input scenario); the WCET falls out of the same runs.  Step 2 — solve
+    the intra-task RMB/LMB dataflow and the useful-block analysis.  Path
+    profiles for the inter-task path analysis (step 4) are enumerated here
+    too, since they only depend on the program structure.
+    """
+    program = layout.program
+    program.cfg.validate()
+    wcet = measure_wcet(layout, scenarios, config, max_steps=max_steps)
+    aggregate = NodeTraceAggregate.from_recorders(config, wcet.traces.values())
+    footprint = aggregate.footprint()
+    dataflow = solve_rmb_lmb(program.cfg, aggregate, config)
+    useful = compute_useful_blocks(program.cfg, dataflow, aggregate)
+    return TaskArtifacts(
+        name=program.name,
+        layout=layout,
+        config=config,
+        wcet=wcet,
+        aggregate=aggregate,
+        footprint=footprint,
+        footprint_ciip=CIIP.from_addresses(config, footprint),
+        dataflow=dataflow,
+        useful=useful,
+        path_profiles=enumerate_path_profiles(program),
+    )

@@ -1,0 +1,160 @@
+"""Unified cache-related preemption delay (CRPD) estimation.
+
+Brings the four approaches of Section VIII together behind one interface:
+
+* Approach 1 — Busquets-Mataix et al. [20]: all lines of the preempting task.
+* Approach 2 — Tan & Mooney [1]: footprint intersection, Equation 2.
+* Approach 3 — Lee et al. [21]: useful memory blocks of the preempted task.
+* Approach 4 — this paper: useful blocks × per-path preempting footprint,
+  Equations 3/4, the combination the paper contributes.
+
+``Cpre(Ta, Tb) = lines × Cmiss`` (Equation 5) converts a line count into
+the cache reload cost charged per preemption in the WCRT recurrence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.analysis.artifacts import TaskArtifacts
+from repro.analysis.intertask import approach1_lines, approach2_lines
+from repro.analysis.pathcost import approach4_lines
+
+
+class Approach(IntEnum):
+    """The four CRPD estimation approaches compared in the paper."""
+
+    BUSQUETS = 1
+    INTERTASK = 2
+    LEE = 3
+    COMBINED = 4
+
+
+ALL_APPROACHES = tuple(Approach)
+
+
+@dataclass(frozen=True)
+class PreemptionEstimate:
+    """Reload-line estimates for one (preempted, preempting) pair."""
+
+    preempted: str
+    preempting: str
+    lines: dict[Approach, int]
+
+    def describe(self) -> str:
+        parts = ", ".join(f"App{a.value}={self.lines[a]}" for a in ALL_APPROACHES)
+        return f"{self.preempted} by {self.preempting}: {parts}"
+
+
+class CRPDAnalyzer:
+    """Computes reload-line counts and ``Cpre`` for a set of analysed tasks.
+
+    Args:
+        tasks: task name -> :class:`TaskArtifacts`; all must share one
+            cache configuration.
+        mumbs_mode: Approach 4 variant.  The default ``"per_point"`` is the
+            sound joint maximisation over execution points and paths;
+            ``"paper"`` is Definition 4 verbatim, which can underestimate
+            when the conflict-maximising execution point differs from the
+            useful-count-maximising one (see
+            :func:`repro.analysis.pathcost.approach4_lines`).
+    """
+
+    def __init__(
+        self, tasks: dict[str, TaskArtifacts], mumbs_mode: str = "per_point"
+    ):
+        if not tasks:
+            raise ValueError("no tasks given")
+        configs = {artifacts.config for artifacts in tasks.values()}
+        if len(configs) != 1:
+            raise ValueError("all tasks must share one cache configuration")
+        self.tasks = dict(tasks)
+        self.config = next(iter(configs))
+        self.mumbs_mode = mumbs_mode
+        self._lines_cache: dict[tuple[str, str, Approach], int] = {}
+
+    def _artifacts(self, name: str) -> TaskArtifacts:
+        try:
+            return self.tasks[name]
+        except KeyError:
+            raise KeyError(f"unknown task {name!r}") from None
+
+    # ------------------------------------------------------------------
+    def lines_reloaded(
+        self, preempted: str, preempting: str, approach: Approach
+    ) -> int:
+        """Estimated cache lines reloaded when *preempting* preempts *preempted*."""
+        approach = Approach(approach)  # accept plain ints like 4
+        key = (preempted, preempting, approach)
+        if key not in self._lines_cache:
+            self._lines_cache[key] = self._compute_lines(
+                self._artifacts(preempted), self._artifacts(preempting), approach
+            )
+        return self._lines_cache[key]
+
+    def _compute_lines(
+        self, low: TaskArtifacts, high: TaskArtifacts, approach: Approach
+    ) -> int:
+        if approach is Approach.BUSQUETS:
+            return approach1_lines(high)
+        if approach is Approach.INTERTASK:
+            return approach2_lines(low, high)
+        if approach is Approach.LEE:
+            return low.useful.lee_reload_bound()
+        if approach is Approach.COMBINED:
+            return approach4_lines(low, high, mumbs_mode=self.mumbs_mode)
+        raise ValueError(f"unknown approach {approach!r}")
+
+    def cpre(
+        self,
+        preempted: str,
+        preempting: str,
+        approach: Approach,
+        miss_penalty: int | None = None,
+    ) -> int:
+        """Equation 5: cache reload cost in cycles for one preemption.
+
+        ``miss_penalty`` defaults to the analysis cache's ``Cmiss``; pass an
+        override to sweep the penalty as Tables III/V do.
+
+        For a write-back cache (``config.write_back``) an extra term covers
+        the dirty victim lines the preemption forces out: *any* evicted
+        line of the preempted task may be dirty — not only the useful ones
+        — so the writeback term is bounded by the footprint intersection
+        ``S(Ma, Mb)`` (Equation 2) regardless of the reload approach.
+        """
+        penalty = self.config.miss_penalty if miss_penalty is None else miss_penalty
+        cost = self.lines_reloaded(preempted, preempting, approach) * penalty
+        writeback = self.config.effective_writeback_penalty
+        if writeback:
+            dirty_bound = self.lines_reloaded(
+                preempted, preempting, Approach.INTERTASK
+            )
+            cost += dirty_bound * writeback
+        return cost
+
+    def estimate_pair(self, preempted: str, preempting: str) -> PreemptionEstimate:
+        """All four approaches for one preemption pair (a Table II row)."""
+        return PreemptionEstimate(
+            preempted=preempted,
+            preempting=preempting,
+            lines={
+                approach: self.lines_reloaded(preempted, preempting, approach)
+                for approach in ALL_APPROACHES
+            },
+        )
+
+    def estimate_all_pairs(
+        self, priority_order: list[str]
+    ) -> list[PreemptionEstimate]:
+        """Every feasible preemption pair of a priority-ordered task list.
+
+        ``priority_order`` lists task names from highest to lowest priority;
+        each task can be preempted by every earlier (higher-priority) task.
+        """
+        estimates: list[PreemptionEstimate] = []
+        for low_index, preempted in enumerate(priority_order):
+            for preempting in priority_order[:low_index]:
+                estimates.append(self.estimate_pair(preempted, preempting))
+        return estimates

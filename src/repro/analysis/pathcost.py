@@ -1,0 +1,108 @@
+"""Path analysis of the preempting task (Section VI, Equation 4).
+
+Only one feasible path of the preempting task executes during a given
+preemption, so only the memory blocks on that path can evict cache lines.
+The cost of a path ``Pa_b^k`` is ``C(Pa) = S(M̃a, Mb^k)`` (Equation 4); the
+per-preemption reload bound is the cost of the most expensive ("longest")
+path.  Loops with fixed bounds are collapsed into SFP-PrS segments by
+:mod:`repro.program.paths`, so enumeration is over a small DAG of choices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.artifacts import TaskArtifacts
+from repro.cache.ciip import CIIP, conflict_bound
+from repro.program.paths import PathProfile, path_footprint
+
+
+@dataclass(frozen=True)
+class PathCost:
+    """Equation 4 evaluated for one feasible path of the preempting task."""
+
+    profile: PathProfile
+    footprint_blocks: int
+    cost: int
+
+
+@dataclass
+class PathCostResult:
+    """Costs of every feasible path, plus the maximising one."""
+
+    per_path: list[PathCost]
+
+    @property
+    def worst(self) -> PathCost:
+        if not self.per_path:
+            raise ValueError("preempting task has no feasible paths")
+        return max(self.per_path, key=lambda p: p.cost)
+
+    @property
+    def lines(self) -> int:
+        """The Section VI bound: cost of the longest path."""
+        return self.worst.cost
+
+
+def max_path_conflict(
+    useful_ciip: CIIP, preempting: TaskArtifacts
+) -> PathCostResult:
+    """Maximise ``S(M̃a, Mb^k)`` over the preempting task's feasible paths.
+
+    ``useful_ciip`` is the CIIP of the preempted task's useful blocks
+    (M̃a); the per-path footprints ``Mb^k`` come from the preempting task's
+    per-node trace blocks restricted to the path.
+    """
+    per_node = preempting.per_node_blocks()
+    costs: list[PathCost] = []
+    for profile in preempting.path_profiles:
+        footprint = path_footprint(profile, per_node)
+        path_ciip = CIIP.from_addresses(preempting.config, footprint)
+        costs.append(
+            PathCost(
+                profile=profile,
+                footprint_blocks=len(footprint),
+                cost=conflict_bound(useful_ciip, path_ciip),
+            )
+        )
+    return PathCostResult(per_path=costs)
+
+
+def approach4_lines(
+    preempted: TaskArtifacts,
+    preempting: TaskArtifacts,
+    mumbs_mode: str = "paper",
+) -> int:
+    """Approach 4: combined intra-task + inter-task + path analysis.
+
+    ``mumbs_mode``:
+
+    * ``"paper"`` — Definition 4 verbatim: take the single execution point
+      with the most useful blocks (the MUMBS M̃a), then maximise Equation 4
+      over the preempting task's paths.
+    * ``"per_point"`` — maximise ``S(useful(s), Mb^path)`` jointly over
+      execution points *s* and paths.
+
+    Reproduction finding: the two are *not* interchangeable.  The point
+    that maximises the raw useful-block count (Definition 4's M̃a) need not
+    maximise the per-set conflict with the preempting task, so the paper
+    mode can *under*-estimate the worst preemption point — ``per_point``
+    is the sound-by-construction variant and always >= the paper mode.
+    Both stay below Approaches 2 and 3 (each per-point cost is bounded by
+    the footprint intersection and by Lee's per-point count).  See
+    DESIGN.md and ``benchmarks/test_ablation_mumbs.py``.
+    """
+    if mumbs_mode == "paper":
+        return max_path_conflict(preempted.mumbs_ciip(), preempting).lines
+    if mumbs_mode == "per_point":
+        worst = 0
+        footprint_ciip = preempted.footprint_ciip
+        for point in preempted.useful.points:
+            blocks = point.blocks()
+            if not blocks:
+                continue
+            point_ciip = footprint_ciip.restrict(blocks)
+            result = max_path_conflict(point_ciip, preempting)
+            worst = max(worst, result.lines)
+        return worst
+    raise ValueError(f"unknown mumbs_mode {mumbs_mode!r}")

@@ -1,0 +1,174 @@
+"""Schedulability sensitivity analysis.
+
+The paper motivates tighter WCRT analysis with resource utilisation
+(Section I): pessimism wastes capacity.  This module quantifies that
+headroom per CRPD approach:
+
+* :func:`critical_scaling_factor` — the largest factor every WCET can be
+  multiplied by while the system stays schedulable (the classic
+  sensitivity metric).
+* :func:`breakdown_miss_penalty` — the largest cache-miss penalty at
+  which the system is still schedulable, using a calibrated linear model
+  of how WCETs grow with the penalty.
+* :class:`PenaltyModel` — the calibration: under our VM, a task's
+  measured WCET is ``base + misses * penalty`` exactly, so two
+  measurements determine the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.crpd import Approach, CRPDAnalyzer
+from repro.wcrt.response_time import CpreFunction, compute_system_wcrt
+from repro.wcrt.task import TaskSpec, TaskSystem
+
+
+def _scaled_system(system: TaskSystem, factor: float) -> TaskSystem | None:
+    """The system with every WCET scaled by *factor*; None if infeasible."""
+    tasks = []
+    for task in system.tasks:
+        wcet = max(1, int(task.wcet * factor))
+        if wcet + task.jitter > task.effective_deadline:
+            return None
+        tasks.append(
+            TaskSpec(
+                name=task.name,
+                wcet=wcet,
+                period=task.period,
+                priority=task.priority,
+                deadline=task.deadline,
+                jitter=task.jitter,
+            )
+        )
+    return TaskSystem(tasks=tasks)
+
+
+def critical_scaling_factor(
+    system: TaskSystem,
+    cpre: CpreFunction,
+    context_switch: int = 0,
+    precision: float = 1e-3,
+    upper: float = 8.0,
+) -> float:
+    """Binary-search the largest WCET scaling that stays schedulable.
+
+    Returns 0.0 when the system is unschedulable as given.  The CRPD costs
+    (``cpre``) are held constant — they model cache geometry, not task
+    length — so the factor isolates computation-time headroom.
+    """
+    def schedulable(factor: float) -> bool:
+        scaled = _scaled_system(system, factor)
+        if scaled is None:
+            return False
+        return compute_system_wcrt(
+            scaled, cpre=cpre, context_switch=context_switch
+        ).schedulable
+
+    if not schedulable(1.0):
+        lo, hi = 0.0, 1.0
+        if not schedulable(precision):
+            return 0.0
+    else:
+        lo, hi = 1.0, upper
+        if schedulable(upper):
+            return upper
+    while hi - lo > precision:
+        mid = (lo + hi) / 2
+        if schedulable(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+@dataclass(frozen=True)
+class PenaltyModel:
+    """Per-task linear WCET model: ``wcet(penalty) = base + misses*penalty``.
+
+    Exact under the reproduction VM, whose only penalty-dependent cost is
+    the per-miss charge.
+    """
+
+    base: dict[str, int]
+    misses: dict[str, int]
+
+    @classmethod
+    def calibrate(
+        cls,
+        wcets_low: dict[str, int],
+        wcets_high: dict[str, int],
+        penalty_low: int,
+        penalty_high: int,
+    ) -> "PenaltyModel":
+        """Fit from WCET measurements at two penalties."""
+        if penalty_high <= penalty_low:
+            raise ValueError("need two distinct penalties")
+        misses = {}
+        base = {}
+        for name in wcets_low:
+            slope, remainder = divmod(
+                wcets_high[name] - wcets_low[name], penalty_high - penalty_low
+            )
+            if remainder or slope < 0:
+                raise ValueError(
+                    f"WCETs of {name!r} are not linear in the penalty; "
+                    "did the execution path change?"
+                )
+            misses[name] = slope
+            base[name] = wcets_low[name] - slope * penalty_low
+        return cls(base=base, misses=misses)
+
+    def wcet(self, name: str, penalty: int) -> int:
+        return self.base[name] + self.misses[name] * penalty
+
+
+def breakdown_miss_penalty(
+    system: TaskSystem,
+    crpd: CRPDAnalyzer,
+    model: PenaltyModel,
+    approach: Approach,
+    context_switch: int = 0,
+    max_penalty: int = 500,
+) -> int | None:
+    """Largest integer Cmiss at which the system is still schedulable.
+
+    Both the WCETs (via *model*) and the CRPD costs (lines x penalty)
+    scale with the penalty.  Returns None when even penalty 0 fails.
+    """
+    def schedulable(penalty: int) -> bool:
+        tasks = [
+            TaskSpec(
+                name=task.name,
+                wcet=model.wcet(task.name, penalty),
+                period=task.period,
+                priority=task.priority,
+                deadline=task.deadline,
+                jitter=task.jitter,
+            )
+            for task in system.tasks
+        ]
+        try:
+            scaled = TaskSystem(tasks=tasks)
+        except ValueError:
+            return False  # a WCET outgrew its deadline
+
+        def cpre(preempted: str, preempting: str) -> int:
+            return crpd.cpre(preempted, preempting, approach, miss_penalty=penalty)
+
+        return compute_system_wcrt(
+            scaled, cpre=cpre, context_switch=context_switch
+        ).schedulable
+
+    if not schedulable(0):
+        return None
+    lo, hi = 0, max_penalty
+    if schedulable(max_penalty):
+        return max_penalty
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if schedulable(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,117 @@
+"""WCET estimation in the style the paper uses SYMTA.
+
+The paper obtains each task's WCET ``Ci`` (and its memory traces) with
+SYMTA's simulation method (Sections III-B and VII).  We do the same with
+our substrate: run the task in isolation on a cold cache once per input
+scenario (each scenario drives one feasible path) and take the maximum
+observed cycle count.  A purely structural all-miss bound is provided as a
+cross-check — it must always dominate the measured WCET.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.cache.config import CacheConfig
+from repro.cache.state import CacheState
+from repro.program.layout import ProgramLayout
+from repro.program.paths import enumerate_path_profiles
+from repro.vm.machine import run_isolated
+from repro.vm.trace import TraceRecorder
+
+#: Input scenarios: scenario name -> {array name -> initial values}.
+Scenarios = Mapping[str, Mapping[str, list[int]]]
+
+
+@dataclass
+class WCETResult:
+    """Measured WCET plus the per-scenario breakdown and traces."""
+
+    cycles: int
+    worst_scenario: str
+    per_scenario_cycles: dict[str, int]
+    traces: dict[str, TraceRecorder]
+
+    @property
+    def scenario_count(self) -> int:
+        return len(self.per_scenario_cycles)
+
+
+def measure_wcet(
+    layout: ProgramLayout,
+    scenarios: Scenarios,
+    config: CacheConfig,
+    max_steps: int = 10_000_000,
+) -> WCETResult:
+    """Run every scenario in isolation on a cold cache; WCET = max cycles.
+
+    Each scenario gets a fresh cache and a fresh memory image, matching the
+    single-task WCET assumption (no useful cache contents at job start).
+    The recorded traces are returned for reuse by the footprint and RMB/LMB
+    analyses — one simulation pass feeds everything, as in SYMTA.
+
+    Under LRU the cold start provably dominates any warm start (no
+    cold-start anomalies; see ``tests/test_cache_state.py``), so the
+    measured maximum is a true WCET for the covered paths.  FIFO and PLRU
+    admit timing anomalies in principle; treat WCETs measured under those
+    policies as high-water marks rather than guarantees.
+    """
+    if not scenarios:
+        raise ValueError("at least one input scenario is required")
+    per_scenario: dict[str, int] = {}
+    traces: dict[str, TraceRecorder] = {}
+    for name, inputs in scenarios.items():
+        cache = CacheState(config)
+        recorder = TraceRecorder()
+        machine = run_isolated(
+            layout,
+            cache,
+            inputs={array: list(values) for array, values in inputs.items()},
+            trace=recorder,
+            max_steps=max_steps,
+        )
+        per_scenario[name] = machine.cycles
+        traces[name] = recorder
+    worst = max(per_scenario, key=per_scenario.get)
+    return WCETResult(
+        cycles=per_scenario[worst],
+        worst_scenario=worst,
+        per_scenario_cycles=per_scenario,
+        traces=traces,
+    )
+
+
+def static_wcet_bound(layout: ProgramLayout, config: CacheConfig) -> int:
+    """Structural all-miss WCET bound (no cache hits assumed anywhere).
+
+    Per feasible path profile: sum over blocks of (execution count ×
+    all-miss block cost), maximised over paths.  Pessimistic by design;
+    used as a soundness cross-check against :func:`measure_wcet`.
+    """
+    program = layout.program
+    block_cost: dict[str, int] = {}
+    for label in program.cfg.labels():
+        block = program.cfg.block(label)
+        cost = sum(instr.base_cycles for instr in block.instructions)
+        if block.terminator is not None:
+            cost += block.terminator.base_cycles
+        # Every fetch misses...
+        cost += block.size_instructions * config.miss_penalty
+        # ...and every load/store misses too.
+        memory_ops = sum(
+            1
+            for instr in block.instructions
+            if instr.cost_key in ("load", "store")
+        )
+        cost += memory_ops * config.miss_penalty
+        block_cost[label] = cost
+
+    worst = 0
+    for profile in enumerate_path_profiles(program):
+        total = sum(
+            block_cost.get(label, 0) * count
+            for label, count in profile.counts.items()
+        )
+        worst = max(worst, total)
+    return worst

@@ -1,0 +1,118 @@
+"""Two-level memory hierarchy — the paper's stated future work.
+
+Section IX: "For future work, we plan to expand our analysis approach for
+systems with more than two-level memory hierarchy."  This module provides
+the substrate for that extension: an L1 + L2 cache stack that implements
+the same ``access()`` protocol as a single :class:`CacheState`, so the VM
+and the preemptive scheduler run on it unchanged.  The corresponding
+analysis extension lives in :mod:`repro.analysis.multilevel`.
+
+Latency model (per access):
+
+* L1 hit                — ``l1.hit_cycles``
+* L1 miss, L2 hit       — ``l1.hit_cycles + l1.miss_penalty``
+* L1 miss, L2 miss      — ``l1.hit_cycles + l1.miss_penalty + l2.miss_penalty``
+
+i.e. each level's ``miss_penalty`` is the cost of fetching from the level
+below it.  Fills are non-exclusive: an L1 fill also installs the block in
+L2 (the common mostly-inclusive organisation); L1 evictions do not
+invalidate L2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.config import CacheConfig
+from repro.cache.state import AccessResult, CacheState, CacheStats
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Geometry of a two-level hierarchy.
+
+    The L2 line size must be a multiple of the L1 line size (a refill
+    never straddles L2 lines).
+    """
+
+    l1: CacheConfig
+    l2: CacheConfig
+
+    def __post_init__(self) -> None:
+        if self.l2.line_size % self.l1.line_size:
+            raise ValueError(
+                f"L2 line size {self.l2.line_size} must be a multiple of "
+                f"L1 line size {self.l1.line_size}"
+            )
+        if self.l2.size_bytes < self.l1.size_bytes:
+            raise ValueError("L2 must be at least as large as L1")
+
+    @property
+    def worst_case_miss_penalty(self) -> int:
+        """Cycles for an access missing every level."""
+        return self.l1.miss_penalty + self.l2.miss_penalty
+
+
+@dataclass
+class MemoryHierarchy:
+    """An L1+L2 stack exposing the single-cache access protocol.
+
+    Drop-in replacement for :class:`CacheState` wherever only
+    ``access()`` / ``invalidate()`` are needed (the VM and the scheduler).
+    """
+
+    config: HierarchyConfig
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.l1 = CacheState(self.config.l1)
+        self.l2 = CacheState(self.config.l2)
+
+    def access(self, address: int, write: bool = False) -> AccessResult:
+        """Reference *address* through both levels; return the L1 outcome.
+
+        ``AccessResult.hit`` reports the L1 outcome; ``cycles`` includes
+        whatever the L2 lookup and memory fetch added.  Write-back dirty
+        accounting (if enabled on the L1 config) happens at L1; L2 fills
+        are reads.
+        """
+        l1_result = self.l1.access(address, write=write)
+        if l1_result.hit:
+            self.stats.hits += 1
+            return l1_result
+        self.stats.misses += 1
+        l2_result = self.l2.access(address)
+        cycles = l1_result.cycles  # hit_cycles + l1.miss_penalty
+        if not l2_result.hit:
+            cycles += self.config.l2.miss_penalty
+        return AccessResult(
+            hit=False, cycles=cycles, evicted_block=l1_result.evicted_block
+        )
+
+    def touch_all(self, addresses: list[int]) -> int:
+        return sum(self.access(address).cycles for address in addresses)
+
+    def contains(self, address: int) -> bool:
+        """True if the block is resident at any level."""
+        return self.l1.contains(address) or self.l2.contains(address)
+
+    def resident_blocks(self) -> set[int]:
+        """L1-granularity blocks resident in L1, plus L2-resident regions.
+
+        Returned at L1 block granularity so callers can intersect with
+        footprints computed against the L1 geometry.
+        """
+        resident = set(self.l1.resident_blocks())
+        ratio = self.config.l2.line_size // self.config.l1.line_size
+        for l2_block in self.l2.resident_blocks():
+            for sub in range(ratio):
+                resident.add(l2_block + sub * self.config.l1.line_size)
+        return resident
+
+    def invalidate(self) -> None:
+        self.l1.invalidate()
+        self.l2.invalidate()
+
+    def invalidate_l1(self) -> None:
+        """Flush only the first level (e.g. modelling an L1-only flush)."""
+        self.l1.invalidate()

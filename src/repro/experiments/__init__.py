@@ -1,0 +1,62 @@
+"""Experiment setup and regeneration of the paper's tables and figures."""
+
+from repro.experiments.reporting import Table, percent_improvement
+from repro.experiments.setup import (
+    ALL_SPECS,
+    CONTEXT_SWITCH_CYCLES,
+    EXPERIMENT_I_SPEC,
+    EXPERIMENT_II_SPEC,
+    MISS_PENALTIES,
+    ExperimentContext,
+    ExperimentSpec,
+    build_context,
+)
+from repro.experiments.tables import (
+    ExperimentSuite,
+    generate_all_tables,
+    table1_tasks,
+    table2_cache_lines,
+    table_improvement,
+    table_wcrt,
+)
+from repro.experiments.validation import (
+    Check,
+    ValidationReport,
+    validate_reproduction,
+)
+from repro.experiments.figures import (
+    figure1_schedule,
+    figure2_mapping,
+    figure3_conflicts,
+    figure4_ed_cfg,
+    figure5_architecture,
+    generate_all_figures,
+)
+
+__all__ = [
+    "Table",
+    "percent_improvement",
+    "ALL_SPECS",
+    "CONTEXT_SWITCH_CYCLES",
+    "EXPERIMENT_I_SPEC",
+    "EXPERIMENT_II_SPEC",
+    "MISS_PENALTIES",
+    "ExperimentContext",
+    "ExperimentSpec",
+    "build_context",
+    "ExperimentSuite",
+    "generate_all_tables",
+    "table1_tasks",
+    "table2_cache_lines",
+    "table_improvement",
+    "table_wcrt",
+    "Check",
+    "ValidationReport",
+    "validate_reproduction",
+    "figure1_schedule",
+    "figure2_mapping",
+    "figure3_conflicts",
+    "figure4_ed_cfg",
+    "figure5_architecture",
+    "generate_all_figures",
+]

@@ -1,0 +1,89 @@
+"""Plain-text table rendering shared by the tables, examples and benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+Cell = object  # str, int or float; formatted by _format_cell
+
+
+def _format_cell(value: Cell) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table with headers, rows and free-form footnotes."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[Cell]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def column(self, header: str) -> list[Cell]:
+        """All values of the column named *header*."""
+        try:
+            index = self.headers.index(header)
+        except ValueError:
+            raise KeyError(f"no column {header!r} in {self.title!r}") from None
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        """Monospace rendering with column alignment."""
+        cells = [[_format_cell(c) for c in row] for row in self.rows]
+        widths = [len(h) for h in self.headers]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(parts: Sequence[str]) -> str:
+            return "  ".join(part.ljust(widths[i]) for i, part in enumerate(parts)).rstrip()
+
+        out = [self.title, "=" * len(self.title)]
+        out.append(line(self.headers))
+        out.append(line(["-" * w for w in widths]))
+        out.extend(line(row) for row in cells)
+        for note in self.notes:
+            out.append(f"  note: {note}")
+        return "\n".join(out)
+
+    def to_csv(self) -> str:
+        """RFC-4180-ish CSV (header row + data rows; notes omitted)."""
+
+        def escape(value: Cell) -> str:
+            text = _format_cell(value)
+            if any(ch in text for ch in ',"\n'):
+                text = '"' + text.replace('"', '""') + '"'
+            return text
+
+        lines = [",".join(escape(h) for h in self.headers)]
+        lines.extend(
+            ",".join(escape(cell) for cell in row) for row in self.rows
+        )
+        return "\n".join(lines) + "\n"
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def percent_improvement(baseline: int, improved: int) -> float:
+    """The paper's Table IV/VI metric: how much smaller *improved* is.
+
+    ``(baseline - improved) / baseline * 100``; 0 when baseline is 0.
+    """
+    if baseline == 0:
+        return 0.0
+    return (baseline - improved) / baseline * 100.0

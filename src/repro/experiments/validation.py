@@ -1,0 +1,148 @@
+"""Self-check: verify every reproduction claim in one run.
+
+``validate_reproduction()`` re-derives the shape claims recorded in
+EXPERIMENTS.md — approach orderings, the crossover cell, soundness of all
+WCRT estimates against the simulator, monotone growth with the miss
+penalty — and returns a structured report.  ``python -m repro validate``
+prints it; artifact evaluators can treat a fully-passing report as the
+reproduction's acceptance test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.crpd import ALL_APPROACHES, Approach
+from repro.experiments.setup import ALL_SPECS, ExperimentSpec
+from repro.experiments.tables import ExperimentSuite
+
+
+@dataclass
+class Check:
+    """One verified claim."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        detail = f"  ({self.detail})" if self.detail else ""
+        return f"  [{status}] {self.name}{detail}"
+
+
+@dataclass
+class ValidationReport:
+    checks: list[Check] = field(default_factory=list)
+
+    def add(self, name: str, passed: bool, detail: str = "") -> None:
+        self.checks.append(Check(name=name, passed=passed, detail=detail))
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def render(self) -> str:
+        lines = ["Reproduction validation report", "=" * 30]
+        lines.extend(check.render() for check in self.checks)
+        verdict = "ALL CHECKS PASSED" if self.passed else "FAILURES PRESENT"
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def _validate_suite(
+    suite: ExperimentSuite, report: ValidationReport, penalties: tuple[int, ...]
+) -> None:
+    spec = suite.spec
+    context = suite.context(penalties[0])
+
+    # Table II orderings.
+    estimates = context.crpd.estimate_all_pairs(list(spec.priority_order))
+    orderings = all(
+        e.lines[Approach.COMBINED]
+        <= min(e.lines[Approach.INTERTASK], e.lines[Approach.LEE])
+        and e.lines[Approach.INTERTASK] <= e.lines[Approach.BUSQUETS]
+        and e.lines[Approach.COMBINED] > 0
+        for e in estimates
+    )
+    report.add(
+        f"{spec.key}: App4 <= min(App2, App3) <= App1 on every pair",
+        orderings,
+    )
+    strict = any(
+        e.lines[Approach.COMBINED]
+        < min(e.lines[Approach.INTERTASK], e.lines[Approach.LEE])
+        for e in estimates
+    )
+    report.add(f"{spec.key}: combined approach strictly best somewhere", strict)
+
+    if spec.key == "exp2":
+        crossover = any(
+            e.lines[Approach.LEE] < e.lines[Approach.INTERTASK]
+            for e in estimates
+        )
+        report.add(
+            "exp2: App3 < App2 crossover cell exists (paper: ADPCMC by ADPCMD)",
+            crossover,
+        )
+
+    # Soundness and monotonicity across penalties.
+    sound = True
+    sound_detail = ""
+    monotone = True
+    previous: dict[tuple[str, Approach], int] = {}
+    for penalty in penalties:
+        art = suite.art(penalty)
+        for task in suite.preempted_tasks():
+            for approach in ALL_APPROACHES:
+                estimate = suite.wcrt(penalty, approach).wcrt(task)
+                if art[task] > estimate:
+                    sound = False
+                    sound_detail = (
+                        f"{task}@Cmiss={penalty} App{approach.value}: "
+                        f"ART {art[task]} > {estimate}"
+                    )
+                key = (task, approach)
+                if key in previous and estimate < previous[key]:
+                    monotone = False
+                previous[key] = estimate
+    report.add(
+        f"{spec.key}: ART <= every WCRT estimate "
+        f"({len(penalties) * len(suite.preempted_tasks()) * 4} cells)",
+        sound,
+        sound_detail,
+    )
+    report.add(f"{spec.key}: estimates grow with Cmiss", monotone)
+
+    # App4 minimal everywhere.
+    minimal = all(
+        suite.wcrt(penalty, Approach.COMBINED).wcrt(task)
+        <= min(suite.wcrt(penalty, a).wcrt(task) for a in ALL_APPROACHES)
+        for penalty in penalties
+        for task in suite.preempted_tasks()
+    )
+    report.add(f"{spec.key}: App4 WCRT minimal in every cell", minimal)
+
+    # Eq.6 underestimates the shared-cache reality for the lowest task.
+    from repro.wcrt.response_time import compute_system_wcrt
+
+    lowest = spec.priority_order[-1]
+    eq6 = compute_system_wcrt(context.system).wcrt(lowest)
+    art = suite.art(penalties[0])[lowest]
+    report.add(
+        f"{spec.key}: cache-blind Eq.6 underestimates measured response",
+        eq6 < art,
+        f"Eq.6 {eq6} vs ART {art}",
+    )
+
+
+def validate_reproduction(
+    penalties: tuple[int, ...] = (10, 40),
+    specs: tuple[ExperimentSpec, ...] = ALL_SPECS,
+) -> ValidationReport:
+    """Run every shape check; ``penalties`` trades runtime for coverage."""
+    report = ValidationReport()
+    for spec in specs:
+        suite = ExperimentSuite(spec, penalties=penalties)
+        _validate_suite(suite, report, penalties)
+    return report

@@ -1,0 +1,206 @@
+"""Control Flow Graph representation.
+
+Section III-A of the paper: a CFG is a graph ``G = (V, E)`` whose nodes are
+program segments and whose edges capture control dependence.  Here each node
+is a :class:`BasicBlock` (straight-line instructions plus one terminator);
+the SFP-PrS segment view of Section III-A is layered on top by
+:mod:`repro.program.paths`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.program.instructions import (
+    Branch,
+    Halt,
+    Instruction,
+    Jump,
+    Terminator,
+)
+
+
+class CFGError(ValueError):
+    """Raised when a control-flow graph is malformed."""
+
+
+@dataclass
+class BasicBlock:
+    """A labelled straight-line code sequence with a single terminator."""
+
+    label: str
+    instructions: list[Instruction] = field(default_factory=list)
+    terminator: Terminator | None = None
+
+    def successors(self) -> tuple[str, ...]:
+        """Labels of the blocks this block can transfer control to."""
+        if self.terminator is None:
+            raise CFGError(f"block {self.label!r} has no terminator")
+        if isinstance(self.terminator, Jump):
+            return (self.terminator.target,)
+        if isinstance(self.terminator, Branch):
+            return (self.terminator.then_target, self.terminator.else_target)
+        if isinstance(self.terminator, Halt):
+            return ()
+        raise CFGError(f"unknown terminator {self.terminator!r}")
+
+    @property
+    def size_instructions(self) -> int:
+        """Number of fetchable instructions, terminator included."""
+        return len(self.instructions) + (1 if self.terminator is not None else 0)
+
+    def __str__(self) -> str:
+        lines = [f"{self.label}:"]
+        lines.extend(f"  {instr}" for instr in self.instructions)
+        if self.terminator is not None:
+            lines.append(f"  {self.terminator}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ControlFlowGraph:
+    """A named CFG with a distinguished entry block.
+
+    Blocks are kept in insertion order, which also fixes the code layout
+    (see :mod:`repro.program.layout`).
+    """
+
+    name: str
+    entry: str
+    blocks: dict[str, BasicBlock] = field(default_factory=dict)
+
+    def add_block(self, block: BasicBlock) -> None:
+        if block.label in self.blocks:
+            raise CFGError(f"duplicate block label {block.label!r}")
+        self.blocks[block.label] = block
+
+    def block(self, label: str) -> BasicBlock:
+        try:
+            return self.blocks[label]
+        except KeyError:
+            raise CFGError(f"no block labelled {label!r} in {self.name!r}") from None
+
+    def labels(self) -> tuple[str, ...]:
+        return tuple(self.blocks)
+
+    def successors(self, label: str) -> tuple[str, ...]:
+        return self.block(label).successors()
+
+    def predecessors(self, label: str) -> tuple[str, ...]:
+        self.block(label)
+        preds = [
+            other.label
+            for other in self.blocks.values()
+            if label in other.successors()
+        ]
+        return tuple(preds)
+
+    def predecessor_map(self) -> dict[str, tuple[str, ...]]:
+        """Label -> predecessor labels for the whole graph (one pass)."""
+        preds: dict[str, list[str]] = {label: [] for label in self.blocks}
+        for block in self.blocks.values():
+            for succ in block.successors():
+                if succ in preds:
+                    preds[succ].append(block.label)
+        return {label: tuple(values) for label, values in preds.items()}
+
+    def exit_labels(self) -> tuple[str, ...]:
+        """Blocks terminated by :class:`Halt`."""
+        return tuple(
+            block.label
+            for block in self.blocks.values()
+            if isinstance(block.terminator, Halt)
+        )
+
+    # ------------------------------------------------------------------
+    # Validation and traversal
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural well-formedness; raise :class:`CFGError` if not.
+
+        Requirements: the entry exists, every block has a terminator, every
+        branch target exists, every block is reachable from the entry and
+        at least one Halt block exists.
+        """
+        if self.entry not in self.blocks:
+            raise CFGError(f"entry block {self.entry!r} missing from {self.name!r}")
+        for block in self.blocks.values():
+            if block.terminator is None:
+                raise CFGError(f"block {block.label!r} has no terminator")
+            for succ in block.successors():
+                if succ not in self.blocks:
+                    raise CFGError(
+                        f"block {block.label!r} targets unknown block {succ!r}"
+                    )
+        reachable = self.reachable_from(self.entry)
+        unreachable = set(self.blocks) - reachable
+        if unreachable:
+            raise CFGError(f"unreachable blocks in {self.name!r}: {sorted(unreachable)}")
+        if not self.exit_labels():
+            raise CFGError(f"{self.name!r} has no Halt block")
+
+    def reachable_from(self, label: str) -> set[str]:
+        """Labels reachable from *label* (inclusive) via successor edges."""
+        seen: set[str] = set()
+        stack = [label]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.block(current).successors())
+        return seen
+
+    def back_edges(self) -> set[tuple[str, str]]:
+        """Edges ``(tail, head)`` that close a cycle in a DFS from the entry.
+
+        For the reducible CFGs produced by the builder these are exactly the
+        loop back edges (body -> header).
+        """
+        colour: dict[str, int] = {}
+        result: set[tuple[str, str]] = set()
+
+        def visit(label: str) -> None:
+            colour[label] = 1
+            for succ in self.block(label).successors():
+                state = colour.get(succ, 0)
+                if state == 1:
+                    result.add((label, succ))
+                elif state == 0:
+                    visit(succ)
+            colour[label] = 2
+
+        visit(self.entry)
+        return result
+
+    def is_acyclic(self) -> bool:
+        return not self.back_edges()
+
+    def topological_order(self) -> list[str]:
+        """Topological order of an acyclic CFG; raises if cyclic."""
+        if not self.is_acyclic():
+            raise CFGError(f"{self.name!r} contains cycles; no topological order")
+        order: list[str] = []
+        seen: set[str] = set()
+
+        def visit(label: str) -> None:
+            if label in seen:
+                return
+            seen.add(label)
+            for succ in self.block(label).successors():
+                visit(succ)
+            order.append(label)
+
+        visit(self.entry)
+        order.reverse()
+        return order
+
+    @property
+    def total_instructions(self) -> int:
+        """Total fetchable instructions across all blocks."""
+        return sum(block.size_instructions for block in self.blocks.values())
+
+    def __str__(self) -> str:
+        parts = [f"cfg {self.name} (entry={self.entry})"]
+        parts.extend(str(block) for block in self.blocks.values())
+        return "\n".join(parts)

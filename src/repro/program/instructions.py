@@ -1,0 +1,322 @@
+"""A compact RISC-like intermediate representation.
+
+The paper's toolchain compiles C benchmarks for an ARM9TDMI and extracts
+memory traces with an instruction-set simulator.  Our substitution is this
+small register-machine IR: workloads (:mod:`repro.workloads`) are written in
+it, the virtual machine (:mod:`repro.vm.machine`) executes it cycle by cycle
+through the cache model, and the analyses consume the CFG plus the traces.
+
+Operands are either register names (strings) or Python integer immediates.
+Every instruction occupies :data:`INSTRUCTION_SIZE` bytes of code memory and
+is fetched through the (unified) cache when executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+Operand = Union[str, int]
+
+#: Bytes of code memory occupied by one instruction (ARM-like fixed width).
+INSTRUCTION_SIZE = 4
+
+#: Base execution cost in cycles per instruction kind, before cache effects.
+#: Loosely modelled on ARM9TDMI latencies.
+BASE_CYCLES = {
+    "const": 1,
+    "mov": 1,
+    "alu": 1,
+    "mul": 4,
+    "div": 8,
+    "load": 2,
+    "store": 2,
+    "jump": 1,
+    "branch": 2,
+    "halt": 1,
+}
+
+_ALU_OPS = frozenset(
+    {
+        "add",
+        "sub",
+        "and",
+        "or",
+        "xor",
+        "shl",
+        "shr",
+        "min",
+        "max",
+        "lt",
+        "le",
+        "gt",
+        "ge",
+        "eq",
+        "ne",
+    }
+)
+_MUL_OPS = frozenset({"mul"})
+_DIV_OPS = frozenset({"div", "mod"})
+_UNARY_OPS = frozenset({"neg", "abs", "not", "bool"})
+
+
+def _check_operand(value: Operand, what: str) -> None:
+    if not isinstance(value, (str, int)):
+        raise TypeError(f"{what} must be a register name or int, got {value!r}")
+    if isinstance(value, str) and not value:
+        raise ValueError(f"{what} register name must be non-empty")
+
+
+def _check_register(name: str, what: str) -> None:
+    if not isinstance(name, str) or not name:
+        raise TypeError(f"{what} must be a non-empty register name, got {name!r}")
+
+
+class Instruction:
+    """Marker base class for straight-line instructions."""
+
+    cost_key = "alu"
+
+    @property
+    def base_cycles(self) -> int:
+        return BASE_CYCLES[self.cost_key]
+
+
+class Terminator:
+    """Marker base class for block terminators."""
+
+    cost_key = "jump"
+
+    @property
+    def base_cycles(self) -> int:
+        return BASE_CYCLES[self.cost_key]
+
+
+@dataclass(frozen=True)
+class Const(Instruction):
+    """``dst <- imm``"""
+
+    dst: str
+    value: int
+    cost_key = "const"
+
+    def __post_init__(self) -> None:
+        _check_register(self.dst, "Const.dst")
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.value}"
+
+
+@dataclass(frozen=True)
+class Mov(Instruction):
+    """``dst <- src`` (register copy)."""
+
+    dst: str
+    src: Operand
+    cost_key = "mov"
+
+    def __post_init__(self) -> None:
+        _check_register(self.dst, "Mov.dst")
+        _check_operand(self.src, "Mov.src")
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.src}"
+
+
+@dataclass(frozen=True)
+class BinOp(Instruction):
+    """``dst <- lhs op rhs`` for arithmetic, logic and comparisons.
+
+    Comparison operators produce 0/1.  ``div``/``mod`` follow Python floor
+    semantics; division by zero raises at execution time.
+    """
+
+    dst: str
+    op: str
+    lhs: Operand
+    rhs: Operand
+
+    def __post_init__(self) -> None:
+        _check_register(self.dst, "BinOp.dst")
+        _check_operand(self.lhs, "BinOp.lhs")
+        _check_operand(self.rhs, "BinOp.rhs")
+        if self.op not in _ALU_OPS | _MUL_OPS | _DIV_OPS:
+            raise ValueError(f"unknown binary op {self.op!r}")
+
+    @property
+    def cost_key(self) -> str:  # type: ignore[override]
+        if self.op in _MUL_OPS:
+            return "mul"
+        if self.op in _DIV_OPS:
+            return "div"
+        return "alu"
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.lhs} {self.op} {self.rhs}"
+
+
+@dataclass(frozen=True)
+class UnOp(Instruction):
+    """``dst <- op src`` for neg/abs/bitwise-not/bool."""
+
+    dst: str
+    op: str
+    src: Operand
+
+    def __post_init__(self) -> None:
+        _check_register(self.dst, "UnOp.dst")
+        _check_operand(self.src, "UnOp.src")
+        if self.op not in _UNARY_OPS:
+            raise ValueError(f"unknown unary op {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.op} {self.src}"
+
+
+@dataclass(frozen=True)
+class Load(Instruction):
+    """``dst <- memory[symbol + index*scale + disp]``.
+
+    ``symbol`` names a data region declared in the program's layout; the
+    effective byte address is resolved at execution time.  ``index`` is an
+    optional register (or immediate) element index.
+    """
+
+    dst: str
+    symbol: str
+    index: Operand | None = None
+    scale: int = 4
+    disp: int = 0
+    cost_key = "load"
+
+    def __post_init__(self) -> None:
+        _check_register(self.dst, "Load.dst")
+        _check_register(self.symbol, "Load.symbol")
+        if self.index is not None:
+            _check_operand(self.index, "Load.index")
+        if self.scale <= 0:
+            raise ValueError(f"Load.scale must be positive, got {self.scale}")
+
+    def __str__(self) -> str:
+        idx = f"[{self.index}*{self.scale}+{self.disp}]" if self.index is not None else f"[+{self.disp}]"
+        return f"{self.dst} = {self.symbol}{idx}"
+
+
+@dataclass(frozen=True)
+class Store(Instruction):
+    """``memory[symbol + index*scale + disp] <- src``."""
+
+    src: Operand
+    symbol: str
+    index: Operand | None = None
+    scale: int = 4
+    disp: int = 0
+    cost_key = "store"
+
+    def __post_init__(self) -> None:
+        _check_operand(self.src, "Store.src")
+        _check_register(self.symbol, "Store.symbol")
+        if self.index is not None:
+            _check_operand(self.index, "Store.index")
+        if self.scale <= 0:
+            raise ValueError(f"Store.scale must be positive, got {self.scale}")
+
+    def __str__(self) -> str:
+        idx = f"[{self.index}*{self.scale}+{self.disp}]" if self.index is not None else f"[+{self.disp}]"
+        return f"{self.symbol}{idx} = {self.src}"
+
+
+@dataclass(frozen=True)
+class Jump(Terminator):
+    """Unconditional branch to block *target*."""
+
+    target: str
+    cost_key = "jump"
+
+    def __post_init__(self) -> None:
+        _check_register(self.target, "Jump.target")
+
+    def __str__(self) -> str:
+        return f"jump {self.target}"
+
+
+@dataclass(frozen=True)
+class Branch(Terminator):
+    """Conditional branch: to *then_target* if ``cond != 0`` else *else_target*."""
+
+    cond: Operand
+    then_target: str
+    else_target: str
+    cost_key = "branch"
+
+    def __post_init__(self) -> None:
+        _check_operand(self.cond, "Branch.cond")
+        _check_register(self.then_target, "Branch.then_target")
+        _check_register(self.else_target, "Branch.else_target")
+
+    def __str__(self) -> str:
+        return f"branch {self.cond} ? {self.then_target} : {self.else_target}"
+
+
+@dataclass(frozen=True)
+class Halt(Terminator):
+    """Terminate the program."""
+
+    cost_key = "halt"
+
+    def __str__(self) -> str:
+        return "halt"
+
+
+def evaluate_binop(op: str, lhs: int, rhs: int) -> int:
+    """Pure evaluation of a :class:`BinOp` operator on two integers."""
+    if op == "add":
+        return lhs + rhs
+    if op == "sub":
+        return lhs - rhs
+    if op == "mul":
+        return lhs * rhs
+    if op == "div":
+        return lhs // rhs
+    if op == "mod":
+        return lhs % rhs
+    if op == "and":
+        return lhs & rhs
+    if op == "or":
+        return lhs | rhs
+    if op == "xor":
+        return lhs ^ rhs
+    if op == "shl":
+        return lhs << rhs
+    if op == "shr":
+        return lhs >> rhs
+    if op == "min":
+        return min(lhs, rhs)
+    if op == "max":
+        return max(lhs, rhs)
+    if op == "lt":
+        return int(lhs < rhs)
+    if op == "le":
+        return int(lhs <= rhs)
+    if op == "gt":
+        return int(lhs > rhs)
+    if op == "ge":
+        return int(lhs >= rhs)
+    if op == "eq":
+        return int(lhs == rhs)
+    if op == "ne":
+        return int(lhs != rhs)
+    raise ValueError(f"unknown binary op {op!r}")
+
+
+def evaluate_unop(op: str, src: int) -> int:
+    """Pure evaluation of a :class:`UnOp` operator."""
+    if op == "neg":
+        return -src
+    if op == "abs":
+        return abs(src)
+    if op == "not":
+        return ~src
+    if op == "bool":
+        return int(src != 0)
+    raise ValueError(f"unknown unary op {op!r}")

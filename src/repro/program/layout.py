@@ -1,0 +1,186 @@
+"""Memory layout: assigning code and data addresses to a program.
+
+The paper assumes "there are no dynamic data allocations in tasks and
+addresses of all the data structures are fixed" (Section III-B).  A
+:class:`ProgramLayout` pins every instruction and every data array of one
+program to concrete byte addresses; a :class:`SystemLayout` places several
+programs in disjoint regions of the shared address space, the way the
+linker laid out the tasks on the paper's ARM platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.program.builder import ArrayDecl, Program
+from repro.program.instructions import INSTRUCTION_SIZE
+
+
+class LayoutError(ValueError):
+    """Raised for invalid layout requests."""
+
+
+def _align_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+@dataclass
+class ProgramLayout:
+    """Concrete addresses for one program's code and data."""
+
+    program: Program
+    code_base: int
+    data_base: int
+    data_alignment: int = 16
+
+    def __post_init__(self) -> None:
+        if self.code_base < 0 or self.data_base < 0:
+            raise LayoutError("bases must be non-negative")
+        self._block_starts: dict[str, int] = {}
+        address = self.code_base
+        for label in self.program.cfg.labels():
+            self._block_starts[label] = address
+            address += self.program.cfg.block(label).size_instructions * INSTRUCTION_SIZE
+        self._code_end = address
+
+        self._symbol_bases: dict[str, int] = {}
+        cursor = _align_up(self.data_base, self.data_alignment)
+        for decl in self.program.arrays.values():
+            self._symbol_bases[decl.name] = cursor
+            cursor = _align_up(cursor + decl.size_bytes, self.data_alignment)
+        self._data_end = cursor
+        if self._regions_overlap():
+            raise LayoutError(
+                f"code [{self.code_base:#x},{self._code_end:#x}) and data "
+                f"[{self.data_base:#x},{self._data_end:#x}) regions overlap"
+            )
+
+    def _regions_overlap(self) -> bool:
+        return self.code_base < self._data_end and self.data_base < self._code_end
+
+    # ------------------------------------------------------------------
+    @property
+    def code_end(self) -> int:
+        """One past the last code byte."""
+        return self._code_end
+
+    @property
+    def data_end(self) -> int:
+        """One past the last data byte."""
+        return self._data_end
+
+    @property
+    def code_size(self) -> int:
+        return self._code_end - self.code_base
+
+    def block_start(self, label: str) -> int:
+        try:
+            return self._block_starts[label]
+        except KeyError:
+            raise LayoutError(f"no block {label!r} in layout") from None
+
+    def instruction_address(self, label: str, position: int) -> int:
+        """Byte address of the *position*-th instruction of block *label*.
+
+        The terminator sits at ``position == len(instructions)``.
+        """
+        block = self.program.cfg.block(label)
+        if not 0 <= position < block.size_instructions:
+            raise LayoutError(
+                f"instruction position {position} out of range for {label!r}"
+            )
+        return self.block_start(label) + position * INSTRUCTION_SIZE
+
+    def symbol_base(self, symbol: str | ArrayDecl) -> int:
+        name = symbol.name if isinstance(symbol, ArrayDecl) else symbol
+        try:
+            return self._symbol_bases[name]
+        except KeyError:
+            raise LayoutError(f"no symbol {name!r} in layout") from None
+
+    def element_address(self, symbol: str | ArrayDecl, element: int) -> int:
+        """Byte address of the *element*-th element of array *symbol*."""
+        name = symbol.name if isinstance(symbol, ArrayDecl) else symbol
+        decl = self.program.array(name)
+        if not 0 <= element < decl.words:
+            raise LayoutError(
+                f"element {element} out of range for {name!r} ({decl.words} words)"
+            )
+        return self.symbol_base(name) + element * decl.element_size
+
+    def code_addresses(self) -> list[int]:
+        """Byte address of every fetchable instruction, in layout order."""
+        addresses: list[int] = []
+        for label in self.program.cfg.labels():
+            start = self._block_starts[label]
+            count = self.program.cfg.block(label).size_instructions
+            addresses.extend(start + i * INSTRUCTION_SIZE for i in range(count))
+        return addresses
+
+    def data_addresses(self) -> list[int]:
+        """Byte address of every data element, in declaration order."""
+        addresses: list[int] = []
+        for decl in self.program.arrays.values():
+            base = self._symbol_bases[decl.name]
+            addresses.extend(
+                base + i * decl.element_size for i in range(decl.words)
+            )
+        return addresses
+
+
+@dataclass
+class SystemLayout:
+    """Places multiple programs in disjoint address regions.
+
+    Mirrors a static link of all tasks into one shared address space: task
+    *k* receives a code region followed by a data region, each aligned to
+    ``region_alignment`` bytes.
+
+    With ``stride=None`` (default) programs are packed back to back.  A
+    positive ``stride`` instead pins task *k*'s region to
+    ``base_address + k * stride``; choosing a stride that is *not* a
+    multiple of the cache's index span (``num_sets * line_size``) staggers
+    the tasks' cache-index bands so footprints overlap partially — the
+    regime of the paper's separately linked benchmark binaries.  Physical
+    regions must still be disjoint; a task larger than the stride raises
+    :class:`LayoutError`.
+    """
+
+    base_address: int = 0x10000
+    region_alignment: int = 0x100
+    stride: int | None = None
+    layouts: dict[str, ProgramLayout] = field(default_factory=dict)
+
+    def place(self, program: Program) -> ProgramLayout:
+        """Place *program* after (or strided past) previously placed ones."""
+        if program.name in self.layouts:
+            raise LayoutError(f"program {program.name!r} already placed")
+        cursor = self.base_address
+        for layout in self.layouts.values():
+            cursor = max(cursor, layout.code_end, layout.data_end)
+        if self.stride is None:
+            code_base = _align_up(cursor, self.region_alignment)
+        else:
+            code_base = _align_up(
+                self.base_address + len(self.layouts) * self.stride,
+                self.region_alignment,
+            )
+            if code_base < cursor:
+                raise LayoutError(
+                    f"stride {self.stride:#x} too small: program "
+                    f"{program.name!r} would start at {code_base:#x} inside "
+                    f"an earlier region ending at {cursor:#x}"
+                )
+        code_size = program.cfg.total_instructions * INSTRUCTION_SIZE
+        data_base = _align_up(code_base + code_size, self.region_alignment)
+        layout = ProgramLayout(
+            program=program, code_base=code_base, data_base=data_base
+        )
+        self.layouts[program.name] = layout
+        return layout
+
+    def layout_of(self, name: str) -> ProgramLayout:
+        try:
+            return self.layouts[name]
+        except KeyError:
+            raise LayoutError(f"program {name!r} not placed") from None

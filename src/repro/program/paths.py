@@ -1,0 +1,285 @@
+"""Feasible-path enumeration over the SFP-PrS segment view of a program.
+
+The paper (Sections III-A and VI) performs path analysis at the granularity
+of Single Feasible Path Program Segments: loops with statically fixed
+bounds collapse into single segments, so the remaining choice points are
+input-dependent branches (e.g. the Sobel/Cauchy operator selection of the
+ED benchmark, Example 5).  This module enumerates the resulting feasible
+paths as *path profiles*: per-block execution counts plus the branch-arm
+choices that select the path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.program.builder import (
+    IfElseNode,
+    LeafNode,
+    LoopNode,
+    Program,
+    SeqNode,
+    StructureNode,
+)
+
+
+class PathExplosionError(RuntimeError):
+    """Raised when a program has more feasible paths than the given limit."""
+
+
+@dataclass(frozen=True)
+class PathProfile:
+    """One feasible path through a program.
+
+    Attributes:
+        counts: block label -> number of executions along this path.
+        exact: True when the counts are exact for this path; False when a
+            branch inside a loop forced a conservative per-iteration merge
+            (the loop body is then not an SFP-PrS and counts are upper
+            bounds / footprint supersets).
+        choices: branch-arm decisions (``"then@<label>"`` / ``"else@<label>"``)
+            identifying the path.
+    """
+
+    counts: Mapping[str, int]
+    exact: bool = True
+    choices: tuple[str, ...] = ()
+
+    def labels(self) -> frozenset[str]:
+        """Blocks executed at least once along this path."""
+        return frozenset(label for label, count in self.counts.items() if count > 0)
+
+    def total_executions(self) -> int:
+        return sum(self.counts.values())
+
+    def describe(self) -> str:
+        if not self.choices:
+            return "<single-path>"
+        return " / ".join(self.choices)
+
+
+def _merge_sequential(first: PathProfile, second: PathProfile) -> PathProfile:
+    counts = dict(first.counts)
+    for label, count in second.counts.items():
+        counts[label] = counts.get(label, 0) + count
+    return PathProfile(
+        counts=counts,
+        exact=first.exact and second.exact,
+        choices=first.choices + second.choices,
+    )
+
+
+def _scale(profile: PathProfile, factor: int) -> PathProfile:
+    return PathProfile(
+        counts={label: count * factor for label, count in profile.counts.items()},
+        exact=profile.exact,
+        choices=profile.choices,
+    )
+
+
+def _merge_max(profiles: list[PathProfile]) -> PathProfile:
+    """Per-label maximum across profiles; used for branches inside loops.
+
+    The result over-approximates every alternative, which keeps footprints
+    supersets and execution counts upper bounds — the SFP-PrS condition is
+    violated, so ``exact`` is False.
+    """
+    counts: dict[str, int] = {}
+    for profile in profiles:
+        for label, count in profile.counts.items():
+            counts[label] = max(counts.get(label, 0), count)
+    choices = tuple(choice for profile in profiles for choice in profile.choices)
+    return PathProfile(counts=counts, exact=False, choices=choices)
+
+
+def _enumerate(node: StructureNode, limit: int) -> list[PathProfile]:
+    if isinstance(node, LeafNode):
+        return [PathProfile(counts={node.label: 1})]
+    if isinstance(node, SeqNode):
+        profiles = [PathProfile(counts={})]
+        for child in node.children:
+            child_profiles = _enumerate(child, limit)
+            profiles = [
+                _merge_sequential(left, right)
+                for left in profiles
+                for right in child_profiles
+            ]
+            if len(profiles) > limit:
+                raise PathExplosionError(
+                    f"more than {limit} feasible paths; raise the limit or "
+                    "restructure the program"
+                )
+        return profiles
+    if isinstance(node, IfElseNode):
+        then_profiles = [
+            PathProfile(
+                counts=p.counts,
+                exact=p.exact,
+                choices=(f"then@{node.then_entry}",) + p.choices,
+            )
+            for p in _enumerate(node.then_tree, limit)
+        ]
+        if node.else_tree is None:
+            else_profiles = [
+                PathProfile(counts={}, choices=(f"else@{node.join_label}",))
+            ]
+        else:
+            else_profiles = [
+                PathProfile(
+                    counts=p.counts,
+                    exact=p.exact,
+                    choices=(f"else@{node.else_entry}",) + p.choices,
+                )
+                for p in _enumerate(node.else_tree, limit)
+            ]
+        return then_profiles + else_profiles
+    if isinstance(node, LoopNode):
+        body_profiles = _enumerate(node.body_tree, limit)
+        header = PathProfile(counts={node.header_label: node.bound + 1})
+        if node.bound == 0:
+            return [header]
+        if len(body_profiles) == 1:
+            body = _scale(body_profiles[0], node.bound)
+        else:
+            body = _scale(_merge_max(body_profiles), node.bound)
+        return [_merge_sequential(header, body)]
+    raise TypeError(f"unknown structure node {node!r}")
+
+
+def enumerate_path_profiles(program: Program, limit: int = 4096) -> list[PathProfile]:
+    """All feasible path profiles of *program* (loops collapsed).
+
+    Raises :class:`PathExplosionError` when the number of paths exceeds
+    *limit*; Section VI notes the approach targets programs with a
+    reasonably small number of paths.
+    """
+    return _enumerate(program.structure, limit)
+
+
+def path_footprint(
+    profile: PathProfile, per_node_blocks: Mapping[str, Iterable[int]]
+) -> frozenset[int]:
+    """Memory blocks referenced along *profile*.
+
+    ``per_node_blocks`` maps block labels to the memory blocks the node
+    references (gathered by trace aggregation); labels absent from the map
+    contribute nothing.
+    """
+    blocks: set[int] = set()
+    for label in profile.labels():
+        blocks.update(per_node_blocks.get(label, ()))
+    return frozenset(blocks)
+
+
+# ----------------------------------------------------------------------
+# SFP-PrS segment view (Figure 4 of the paper)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Segment:
+    """A program segment: one entry, one exit, zero or more blocks.
+
+    ``depth`` is the nesting level: top-level segments have depth 0 and the
+    segments inside a decision's arms have depth+1 — the hierarchical view
+    of the paper's Figure 4, where the Sobel/Cauchy loop segments sit
+    inside the operator decision.
+    """
+
+    segment_id: int
+    kind: str  # "straight", "loop" or "decision"
+    labels: tuple[str, ...]
+    single_feasible_path: bool
+    depth: int = 0
+
+
+@dataclass
+class _SegmentCollector:
+    segments: list[Segment] = field(default_factory=list)
+    _pending: list[str] = field(default_factory=list)
+    _depth: int = 0
+
+    def _flush(self, kind: str = "straight", sfp: bool = True) -> None:
+        if self._pending:
+            self.segments.append(
+                Segment(
+                    segment_id=len(self.segments) + 1,
+                    kind=kind,
+                    labels=tuple(self._pending),
+                    single_feasible_path=sfp,
+                    depth=self._depth,
+                )
+            )
+            self._pending = []
+
+    def visit(self, node: StructureNode) -> None:
+        if isinstance(node, LeafNode):
+            self._pending.append(node.label)
+        elif isinstance(node, SeqNode):
+            for child in node.children:
+                self.visit(child)
+        elif isinstance(node, LoopNode):
+            self._flush()
+            labels = (node.header_label,) + _collect_labels(node.body_tree)
+            sfp = len(_enumerate(node.body_tree, limit=4096)) == 1
+            self.segments.append(
+                Segment(
+                    segment_id=len(self.segments) + 1,
+                    kind="loop",
+                    labels=labels,
+                    single_feasible_path=sfp,
+                    depth=self._depth,
+                )
+            )
+        elif isinstance(node, IfElseNode):
+            self._flush()
+            labels = _collect_labels(node)
+            self.segments.append(
+                Segment(
+                    segment_id=len(self.segments) + 1,
+                    kind="decision",
+                    labels=labels,
+                    single_feasible_path=False,
+                    depth=self._depth,
+                )
+            )
+            # Descend into the arms so nested loop segments show up as the
+            # hierarchical SFP-PrS nodes of Figure 4.
+            self._depth += 1
+            self.visit(node.then_tree)
+            self._flush()
+            if node.else_tree is not None:
+                self.visit(node.else_tree)
+                self._flush()
+            self._depth -= 1
+        else:
+            raise TypeError(f"unknown structure node {node!r}")
+
+
+def _collect_labels(node: StructureNode) -> tuple[str, ...]:
+    if isinstance(node, LeafNode):
+        return (node.label,)
+    if isinstance(node, SeqNode):
+        labels: tuple[str, ...] = ()
+        for child in node.children:
+            labels += _collect_labels(child)
+        return labels
+    if isinstance(node, LoopNode):
+        return (node.header_label,) + _collect_labels(node.body_tree)
+    if isinstance(node, IfElseNode):
+        labels = _collect_labels(node.then_tree)
+        if node.else_tree is not None:
+            labels += _collect_labels(node.else_tree)
+        return labels
+    raise TypeError(f"unknown structure node {node!r}")
+
+
+def sfp_prs_segments(program: Program) -> list[Segment]:
+    """Decompose *program* into SFP-PrS-style segments (Fig. 4 view).
+
+    Straight-line runs and fixed-bound loops without internal decisions are
+    single-feasible-path segments; if/else regions are decision segments.
+    """
+    collector = _SegmentCollector()
+    collector.visit(program.structure)
+    collector._flush()
+    return collector.segments

@@ -1,0 +1,59 @@
+"""Event records emitted by the preemptive scheduler simulator.
+
+The event stream reconstructs schedules like the paper's Figure 1:
+releases, dispatches, preemptions, resumes, completions and context
+switches, each stamped with the simulation time in cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class EventKind(Enum):
+    """The kinds of scheduling events the simulator emits."""
+
+    RELEASE = "release"
+    START = "start"
+    PREEMPT = "preempt"
+    RESUME = "resume"
+    COMPLETE = "complete"
+    CONTEXT_SWITCH = "context_switch"
+    DEADLINE_MISS = "deadline_miss"
+    IDLE = "idle"
+
+
+@dataclass(frozen=True)
+class SchedulerEvent:
+    """One scheduling event: what happened to which job, and when."""
+
+    time: int
+    kind: EventKind
+    task: str
+    job: int  # job index j of T_{i,j}; -1 for task-less events
+
+    def __str__(self) -> str:
+        if self.job >= 0:
+            return f"t={self.time:>10}  {self.kind.value:<14} {self.task},{self.job}"
+        return f"t={self.time:>10}  {self.kind.value:<14} {self.task}"
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Lifetime summary of one job ``T_{i,j}``."""
+
+    task: str
+    job: int
+    release_time: int
+    completion_time: int
+    preemptions: int
+    deadline: int
+
+    @property
+    def response_time(self) -> int:
+        return self.completion_time - self.release_time
+
+    @property
+    def met_deadline(self) -> bool:
+        return self.completion_time <= self.deadline

@@ -1,0 +1,122 @@
+"""ASCII Gantt rendering of scheduler event streams.
+
+Turns a :class:`~repro.sched.simulator.SimulationResult` into the kind of
+timeline the paper draws in Figure 1: one row per task, execution shown as
+filled segments, preemptions and releases marked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sched.events import EventKind, SchedulerEvent
+
+#: Glyphs used in the timeline rows.
+GLYPH_RUN = "█"
+GLYPH_SWITCH = "▒"
+GLYPH_READY = "·"
+GLYPH_IDLE = " "
+GLYPH_RELEASE = "↓"
+
+
+@dataclass(frozen=True)
+class _Interval:
+    start: int
+    end: int
+    task: str
+    kind: str  # "run" or "switch"
+
+
+def _execution_intervals(events: list[SchedulerEvent]) -> list[_Interval]:
+    """Reconstruct who occupied the processor when, from the event stream."""
+    intervals: list[_Interval] = []
+    current_task: str | None = None
+    current_since = 0
+    switch_since: int | None = None
+    switch_task: str | None = None
+
+    def close_run(until: int) -> None:
+        nonlocal current_task
+        if current_task is not None and until > current_since:
+            intervals.append(
+                _Interval(current_since, until, current_task, "run")
+            )
+        current_task = None
+
+    for event in events:
+        if event.kind is EventKind.CONTEXT_SWITCH:
+            close_run(event.time)
+            switch_since = event.time
+            switch_task = event.task
+        elif event.kind in (EventKind.START, EventKind.RESUME):
+            if switch_since is not None and switch_task == event.task:
+                intervals.append(
+                    _Interval(switch_since, event.time, event.task, "switch")
+                )
+                switch_since = None
+            close_run(event.time)
+            current_task = event.task
+            current_since = event.time
+        elif event.kind in (EventKind.PREEMPT, EventKind.COMPLETE):
+            if current_task == event.task:
+                close_run(event.time)
+    return intervals
+
+
+def render_gantt(
+    events: list[SchedulerEvent],
+    tasks: list[str],
+    until: int,
+    width: int = 100,
+) -> str:
+    """Render the first *until* cycles as one timeline row per task.
+
+    ``tasks`` fixes the row order (highest priority first reads best).
+    Each column covers ``until / width`` cycles; a column shows execution
+    if the task ran at any point inside it, a context switch if one was in
+    progress, a release marker on job arrivals, and a dot while the task
+    had a released-but-waiting job.
+    """
+    if until <= 0 or width <= 0:
+        raise ValueError("until and width must be positive")
+    scale = max(1, until // width)
+    columns = (until + scale - 1) // scale
+    rows = {task: [GLYPH_IDLE] * columns for task in tasks}
+
+    # Ready (released, not yet completed) spans as background dots.
+    release_times: dict[tuple[str, int], int] = {}
+    for event in events:
+        if event.time >= until or event.task not in rows:
+            continue
+        if event.kind is EventKind.RELEASE:
+            release_times[(event.task, event.job)] = event.time
+        elif event.kind is EventKind.COMPLETE:
+            released = release_times.pop((event.task, event.job), None)
+            if released is not None:
+                for col in range(released // scale, min(columns, event.time // scale + 1)):
+                    rows[event.task][col] = GLYPH_READY
+
+    for interval in _execution_intervals(events):
+        if interval.start >= until or interval.task not in rows:
+            continue
+        glyph = GLYPH_RUN if interval.kind == "run" else GLYPH_SWITCH
+        first = interval.start // scale
+        last = min(columns - 1, max(first, (interval.end - 1) // scale))
+        for col in range(first, last + 1):
+            rows[interval.task][col] = glyph
+
+    for event in events:
+        if event.kind is EventKind.RELEASE and event.task in rows and event.time < until:
+            col = event.time // scale
+            if rows[event.task][col] in (GLYPH_IDLE, GLYPH_READY):
+                rows[event.task][col] = GLYPH_RELEASE
+
+    name_width = max(len(task) for task in tasks)
+    lines = [
+        f"0 {' ' * (name_width - 1)}cycles -> {until}  "
+        f"(1 column = {scale} cycles; {GLYPH_RUN} run, {GLYPH_SWITCH} switch, "
+        f"{GLYPH_READY} ready, {GLYPH_RELEASE} release)"
+    ]
+    for task in tasks:
+        lines.append(f"{task.rjust(name_width)} |{''.join(rows[task])}|")
+    return "\n".join(lines)

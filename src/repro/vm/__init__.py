@@ -1,0 +1,31 @@
+"""Cycle-level virtual machine and memory-trace capture."""
+
+from repro.vm.machine import Machine, StepResult, VMError, run_isolated
+from repro.vm.trace import MemRef, NodeRefs, NodeTraceAggregate, TraceRecorder
+from repro.vm.traceio import (
+    ReuseProfile,
+    SetPressure,
+    load_trace,
+    merge_traces,
+    reuse_profile,
+    save_trace,
+    set_pressure,
+)
+
+__all__ = [
+    "ReuseProfile",
+    "SetPressure",
+    "load_trace",
+    "merge_traces",
+    "reuse_profile",
+    "save_trace",
+    "set_pressure",
+    "Machine",
+    "StepResult",
+    "VMError",
+    "run_isolated",
+    "MemRef",
+    "NodeRefs",
+    "NodeTraceAggregate",
+    "TraceRecorder",
+]

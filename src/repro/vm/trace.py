@@ -1,0 +1,142 @@
+"""Memory-reference traces and their per-node aggregation.
+
+The paper derives "the memory trace of each task with the simulation method
+as used in SYMTA" (Section III-B).  :class:`TraceRecorder` captures every
+code fetch and data access the VM issues; :class:`NodeTraceAggregate`
+condenses traces — possibly from several runs over different inputs — into
+the per-CFG-node reference information the RMB/LMB and CIIP analyses need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.cache.config import CacheConfig
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """One memory reference: byte address, kind and issuing CFG node."""
+
+    address: int
+    kind: str  # "code", "read" or "write"
+    node: str  # basic-block label
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("code", "read", "write"):
+            raise ValueError(f"unknown reference kind {self.kind!r}")
+
+
+@dataclass
+class TraceRecorder:
+    """Accumulates the memory references of one or more VM runs."""
+
+    events: list[MemRef] = field(default_factory=list)
+    record_code: bool = True
+    record_data: bool = True
+
+    def record(self, address: int, kind: str, node: str) -> None:
+        if kind == "code" and not self.record_code:
+            return
+        if kind in ("read", "write") and not self.record_data:
+            return
+        self.events.append(MemRef(address=address, kind=kind, node=node))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def addresses(self) -> list[int]:
+        return [event.address for event in self.events]
+
+    def block_addresses(self, config: CacheConfig) -> frozenset[int]:
+        """All distinct memory blocks referenced (the task's footprint M)."""
+        return frozenset(config.block(event.address) for event in self.events)
+
+    def block_sequence(self, config: CacheConfig) -> list[int]:
+        """Memory-block address of every reference, in program order."""
+        return [config.block(event.address) for event in self.events]
+
+    def node_visit_sequences(self, config: CacheConfig) -> dict[str, list[tuple[int, ...]]]:
+        """Per node, the block-reference sequence of each visit.
+
+        A *visit* is a maximal run of consecutive references issued by the
+        same node.  The per-visit sequences feed the RMB/LMB transfer
+        functions: identical visits permit strong updates, differing visits
+        force conservative ones (see :mod:`repro.analysis.rmb_lmb`).
+        """
+        visits: dict[str, list[tuple[int, ...]]] = {}
+        current_node: str | None = None
+        current_refs: list[int] = []
+        for event in self.events:
+            if event.node != current_node:
+                if current_node is not None:
+                    visits.setdefault(current_node, []).append(tuple(current_refs))
+                current_node = event.node
+                current_refs = []
+            current_refs.append(config.block(event.address))
+        if current_node is not None:
+            visits.setdefault(current_node, []).append(tuple(current_refs))
+        return visits
+
+
+@dataclass(frozen=True)
+class NodeRefs:
+    """Aggregated memory-block reference information for one CFG node."""
+
+    label: str
+    visit_sequences: tuple[tuple[int, ...], ...]
+
+    @property
+    def deterministic(self) -> bool:
+        """True when every observed visit issued the same block sequence."""
+        return len(set(self.visit_sequences)) <= 1
+
+    def blocks(self) -> frozenset[int]:
+        """All blocks referenced by any visit of this node."""
+        merged: set[int] = set()
+        for sequence in self.visit_sequences:
+            merged.update(sequence)
+        return frozenset(merged)
+
+    def representative_sequence(self) -> tuple[int, ...]:
+        """The visit sequence when deterministic; empty otherwise."""
+        if self.visit_sequences and self.deterministic:
+            return self.visit_sequences[0]
+        return ()
+
+
+@dataclass
+class NodeTraceAggregate:
+    """Per-node reference data merged across one or more recorded runs."""
+
+    config: CacheConfig
+    node_refs: dict[str, NodeRefs] = field(default_factory=dict)
+
+    @classmethod
+    def from_recorders(
+        cls, config: CacheConfig, recorders: Iterable[TraceRecorder]
+    ) -> "NodeTraceAggregate":
+        visits: dict[str, list[tuple[int, ...]]] = {}
+        for recorder in recorders:
+            for node, sequences in recorder.node_visit_sequences(config).items():
+                visits.setdefault(node, []).extend(sequences)
+        node_refs = {
+            label: NodeRefs(label=label, visit_sequences=tuple(sequences))
+            for label, sequences in visits.items()
+        }
+        return cls(config=config, node_refs=node_refs)
+
+    def refs(self, label: str) -> NodeRefs:
+        """Reference info for *label*; empty if the node never executed."""
+        return self.node_refs.get(label, NodeRefs(label=label, visit_sequences=()))
+
+    def footprint(self) -> frozenset[int]:
+        """Union of all blocks referenced by all nodes (the task's M)."""
+        merged: set[int] = set()
+        for refs in self.node_refs.values():
+            merged.update(refs.blocks())
+        return frozenset(merged)
+
+    def per_node_blocks(self) -> dict[str, frozenset[int]]:
+        return {label: refs.blocks() for label, refs in self.node_refs.items()}

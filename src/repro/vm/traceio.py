@@ -1,0 +1,144 @@
+"""Trace persistence and cache-behaviour diagnostics.
+
+The paper's flow extracts memory traces once (with XRAY) and feeds them to
+the analyses.  This module gives the reproduction the same workflow
+conveniences: save recorded traces to a compact text format, reload them
+later without re-simulating, and compute the two diagnostics that explain
+*why* a workload behaves the way it does in a given cache:
+
+* the **reuse-distance histogram** — under LRU an access hits iff its
+  set-local reuse distance is below the associativity, so the histogram
+  predicts the hit rate for any associativity at a glance, and
+* the **set-pressure profile** — how many distinct blocks land in each
+  cache set, the quantity the CIIP bounds (Equation 2) are built from.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.cache.config import CacheConfig
+from repro.vm.trace import MemRef, TraceRecorder
+
+_HEADER = "# repro-trace v1"
+
+
+def save_trace(recorder: TraceRecorder, path: str | Path) -> None:
+    """Write a recorded trace as one ``address kind node`` line per event."""
+    lines = [_HEADER]
+    lines.extend(
+        f"{event.address:#x} {event.kind} {event.node}"
+        for event in recorder.events
+    )
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_trace(path: str | Path) -> TraceRecorder:
+    """Read a trace written by :func:`save_trace`."""
+    text = Path(path).read_text().splitlines()
+    if not text or text[0] != _HEADER:
+        raise ValueError(f"{path}: not a repro trace file")
+    recorder = TraceRecorder()
+    for line_number, line in enumerate(text[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            address_text, kind, node = line.split(" ", 2)
+            recorder.record(int(address_text, 16), kind, node)
+        except ValueError as exc:
+            raise ValueError(f"{path}:{line_number}: malformed line") from exc
+    return recorder
+
+
+@dataclass(frozen=True)
+class ReuseProfile:
+    """Set-local reuse-distance histogram of one trace.
+
+    ``histogram[d]`` counts re-references whose reuse distance (number of
+    distinct same-set blocks touched since the previous reference to the
+    same block) is ``d``; ``cold`` counts first-ever references.
+    """
+
+    histogram: dict[int, int]
+    cold: int
+
+    @property
+    def accesses(self) -> int:
+        return self.cold + sum(self.histogram.values())
+
+    def predicted_hits(self, ways: int) -> int:
+        """Hits an LRU cache of the given associativity would score."""
+        return sum(
+            count for distance, count in self.histogram.items() if distance < ways
+        )
+
+    def predicted_miss_rate(self, ways: int) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return 1.0 - self.predicted_hits(ways) / self.accesses
+
+
+def reuse_profile(
+    recorder: TraceRecorder, config: CacheConfig
+) -> ReuseProfile:
+    """Compute the set-local LRU reuse-distance histogram of a trace."""
+    stacks: dict[int, list[int]] = {}
+    histogram: Counter[int] = Counter()
+    cold = 0
+    for event in recorder.events:
+        block = config.block(event.address)
+        stack = stacks.setdefault(config.index(block), [])
+        if block in stack:
+            distance = stack.index(block)
+            histogram[distance] += 1
+            stack.remove(block)
+        else:
+            cold += 1
+        stack.insert(0, block)
+    return ReuseProfile(histogram=dict(histogram), cold=cold)
+
+
+@dataclass(frozen=True)
+class SetPressure:
+    """Distinct blocks per cache set for one trace (CIIP group sizes)."""
+
+    per_set: dict[int, int]
+    ways: int
+
+    @property
+    def max_pressure(self) -> int:
+        return max(self.per_set.values(), default=0)
+
+    @property
+    def sets_used(self) -> int:
+        return len(self.per_set)
+
+    def overcommitted_sets(self) -> list[int]:
+        """Sets holding more distinct blocks than they have ways —
+        the sets where intra-task conflict misses can occur."""
+        return sorted(
+            index for index, count in self.per_set.items() if count > self.ways
+        )
+
+
+def set_pressure(recorder: TraceRecorder, config: CacheConfig) -> SetPressure:
+    """Distinct-block count per cache set (the |m̂_i| of Definition 3)."""
+    blocks_per_set: dict[int, set[int]] = {}
+    for event in recorder.events:
+        block = config.block(event.address)
+        blocks_per_set.setdefault(config.index(block), set()).add(block)
+    return SetPressure(
+        per_set={index: len(blocks) for index, blocks in blocks_per_set.items()},
+        ways=config.ways,
+    )
+
+
+def merge_traces(recorders: Iterable[TraceRecorder]) -> TraceRecorder:
+    """Concatenate several traces (e.g. all scenarios of one task)."""
+    merged = TraceRecorder()
+    for recorder in recorders:
+        merged.events.extend(recorder.events)
+    return merged

@@ -1,0 +1,30 @@
+"""WCRT analysis: task model and response-time iteration (Eq. 6/7)."""
+
+from repro.wcrt.task import TaskSpec, TaskSystem
+from repro.wcrt.explain import InterfererShare, WCRTExplanation, explain_wcrt
+from repro.wcrt.response_time import (
+    CpreFunction,
+    SystemWCRT,
+    WCRTResult,
+    compute_system_wcrt,
+    compute_task_wcrt,
+    dispatch_blocking_bound,
+    utilization_bound_test,
+    zero_cpre,
+)
+
+__all__ = [
+    "TaskSpec",
+    "TaskSystem",
+    "InterfererShare",
+    "WCRTExplanation",
+    "explain_wcrt",
+    "CpreFunction",
+    "SystemWCRT",
+    "WCRTResult",
+    "compute_system_wcrt",
+    "compute_task_wcrt",
+    "dispatch_blocking_bound",
+    "utilization_bound_test",
+    "zero_cpre",
+]

@@ -1,0 +1,125 @@
+"""WCRT decomposition: where a response time comes from.
+
+``explain_wcrt`` runs the Equation-7 iteration and splits the fixpoint
+into its terms — own WCET, own jitter, and per-interferer execution, cache
+reload (CRPD) and context-switch contributions.  This is the view that
+makes the paper's Tables III/V interpretable: it shows directly how a
+larger ``Cpre`` tips the recurrence into one more preemption window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.wcrt.response_time import (
+    CpreFunction,
+    WCRTResult,
+    _ceil_div,
+    compute_task_wcrt,
+    zero_cpre,
+)
+from repro.wcrt.task import TaskSystem
+
+
+@dataclass(frozen=True)
+class InterfererShare:
+    """One higher-priority task's contribution to a WCRT fixpoint."""
+
+    name: str
+    preemptions: int
+    execution: int
+    cache_reload: int
+    context_switches: int
+
+    @property
+    def total(self) -> int:
+        return self.execution + self.cache_reload + self.context_switches
+
+
+@dataclass
+class WCRTExplanation:
+    """A decomposed WCRT: wcrt == wcet + jitter + sum of interferer totals
+    (exact when the iteration converged)."""
+
+    result: WCRTResult
+    shares: list[InterfererShare] = field(default_factory=list)
+
+    @property
+    def wcrt(self) -> int:
+        return self.result.wcrt
+
+    @property
+    def own_execution(self) -> int:
+        return self.result.task.wcet
+
+    @property
+    def own_jitter(self) -> int:
+        return self.result.task.jitter
+
+    @property
+    def total_cache_reload(self) -> int:
+        return sum(share.cache_reload for share in self.shares)
+
+    @property
+    def total_context_switches(self) -> int:
+        return sum(share.context_switches for share in self.shares)
+
+    def consistent(self) -> bool:
+        """True when the parts sum to the reported WCRT (converged case)."""
+        total = self.own_execution + self.own_jitter + sum(
+            share.total for share in self.shares
+        )
+        return total == self.wcrt
+
+    def render(self) -> str:
+        task = self.result.task
+        lines = [
+            f"WCRT of {task.name!r}: {self.wcrt} cycles "
+            f"({'converged' if self.result.converged else 'NOT converged'})",
+            f"  own execution (WCET)    {self.own_execution:>10}",
+        ]
+        if self.own_jitter:
+            lines.append(f"  own release jitter      {self.own_jitter:>10}")
+        for share in self.shares:
+            lines.append(
+                f"  {share.name!r}: {share.preemptions} preemption(s) -> "
+                f"exec {share.execution}, reload {share.cache_reload}, "
+                f"switches {share.context_switches}"
+            )
+        lines.append(
+            f"  totals: reload {self.total_cache_reload}, "
+            f"switches {self.total_context_switches}"
+        )
+        return "\n".join(lines)
+
+
+def explain_wcrt(
+    system: TaskSystem,
+    name: str,
+    cpre: CpreFunction = zero_cpre,
+    context_switch: int = 0,
+    stop_at_deadline: bool = True,
+) -> WCRTExplanation:
+    """Compute and decompose one task's WCRT (Equation 7 terms)."""
+    result = compute_task_wcrt(
+        system,
+        name,
+        cpre=cpre,
+        context_switch=context_switch,
+        stop_at_deadline=stop_at_deadline,
+    )
+    window = result.wcrt - result.task.jitter
+    shares = []
+    for other in system.higher_priority(name):
+        preemptions = _ceil_div(window + other.jitter, other.period)
+        reload_cost = cpre(name, other.name)
+        shares.append(
+            InterfererShare(
+                name=other.name,
+                preemptions=preemptions,
+                execution=preemptions * other.wcet,
+                cache_reload=preemptions * reload_cost,
+                context_switches=preemptions * 2 * context_switch,
+            )
+        )
+    return WCRTExplanation(result=result, shares=shares)

@@ -1,0 +1,111 @@
+"""Task model for fixed-priority schedulability analysis.
+
+Section III-A of the paper: ``n`` periodic tasks ``T1..Tn``, each with a
+period ``Pi`` (deadline at the end of the period), a fixed priority ``pi``
+and a WCET ``Ci``.  Following the paper's Table I, a *smaller* priority
+number means a *higher* priority (IDCT/MR carry priority 2 and preempt
+everything; OFDM/ADPCMC carry priority 4 and are preempted by everything).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One periodic task.  All times are in processor cycles.
+
+    ``jitter`` is the maximum release jitter ``J`` of Tindell's extendible
+    response-time framework (the paper's reference [19]): a job nominally
+    released at ``k * period`` may become ready anywhere in
+    ``[k*period, k*period + jitter]``.  Zero (the default) recovers the
+    paper's strictly periodic model.
+    """
+
+    name: str
+    wcet: int
+    period: int
+    priority: int
+    deadline: int | None = None
+    jitter: int = 0
+
+    def __post_init__(self) -> None:
+        if self.wcet <= 0:
+            raise ValueError(f"{self.name}: wcet must be positive, got {self.wcet}")
+        if self.period <= 0:
+            raise ValueError(f"{self.name}: period must be positive")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"{self.name}: deadline must be positive")
+        if self.jitter < 0:
+            raise ValueError(f"{self.name}: jitter must be >= 0")
+        if self.jitter >= self.period:
+            raise ValueError(
+                f"{self.name}: jitter {self.jitter} must be below the period"
+            )
+        if self.wcet + self.jitter > self.effective_deadline:
+            raise ValueError(
+                f"{self.name}: wcet {self.wcet} + jitter {self.jitter} exceeds "
+                f"deadline {self.effective_deadline}; trivially unschedulable"
+            )
+
+    @property
+    def effective_deadline(self) -> int:
+        """Deadline, defaulting to the period (implicit deadlines)."""
+        return self.period if self.deadline is None else self.deadline
+
+    @property
+    def utilization(self) -> float:
+        return self.wcet / self.period
+
+
+@dataclass
+class TaskSystem:
+    """A priority-unique set of periodic tasks on one processor."""
+
+    tasks: list[TaskSpec]
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ValueError("a task system needs at least one task")
+        names = [task.name for task in self.tasks]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate task names: {names}")
+        priorities = [task.priority for task in self.tasks]
+        if len(set(priorities)) != len(priorities):
+            raise ValueError(f"duplicate priorities: {priorities}")
+        # Keep tasks ordered highest priority (smallest number) first.
+        self.tasks.sort(key=lambda task: task.priority)
+
+    def task(self, name: str) -> TaskSpec:
+        for task in self.tasks:
+            if task.name == name:
+                return task
+        raise KeyError(f"no task named {name!r}")
+
+    def names(self) -> list[str]:
+        """Task names, highest priority first."""
+        return [task.name for task in self.tasks]
+
+    def higher_priority(self, name: str) -> list[TaskSpec]:
+        """``hp(i)``: tasks with higher priority than *name*."""
+        me = self.task(name)
+        return [task for task in self.tasks if task.priority < me.priority]
+
+    @property
+    def utilization(self) -> float:
+        return sum(task.utilization for task in self.tasks)
+
+    @property
+    def hyperperiod(self) -> int:
+        result = 1
+        for task in self.tasks:
+            result = result * task.period // gcd(result, task.period)
+        return result
+
+    def rate_monotonic_consistent(self) -> bool:
+        """True when priorities are ordered by period (RMA assignment)."""
+        ordered = sorted(self.tasks, key=lambda task: task.priority)
+        periods = [task.period for task in ordered]
+        return periods == sorted(periods)

@@ -1,0 +1,60 @@
+"""The paper's six benchmark tasks re-implemented in the repro IR."""
+
+from repro.workloads.base import Scenario, Workload
+from repro.workloads.adpcm import (
+    INDEX_TABLE,
+    STEP_TABLE,
+    build_adpcm_coder,
+    build_adpcm_decoder,
+    reference_decode,
+    reference_encode,
+)
+from repro.workloads.edge_detection import build_edge_detection
+from repro.workloads.fir import build_fir, fir_coefficients, reference_fir
+from repro.workloads.idct import build_idct, idct_basis_table, reference_idct
+from repro.workloads.mobile_robot import build_mobile_robot
+from repro.workloads.ofdm import build_ofdm
+from repro.workloads.synthetic import (
+    SyntheticSystem,
+    SyntheticTaskSpec,
+    build_synthetic_task,
+    generate_task_set,
+    uunifast_utilisations,
+)
+from repro.workloads.registry import (
+    EXPERIMENT_I,
+    EXPERIMENT_II,
+    build_experiment,
+    build_workload,
+    workload_names,
+)
+
+__all__ = [
+    "Scenario",
+    "Workload",
+    "INDEX_TABLE",
+    "STEP_TABLE",
+    "build_adpcm_coder",
+    "build_adpcm_decoder",
+    "reference_decode",
+    "reference_encode",
+    "build_edge_detection",
+    "build_fir",
+    "fir_coefficients",
+    "reference_fir",
+    "build_idct",
+    "idct_basis_table",
+    "reference_idct",
+    "build_mobile_robot",
+    "build_ofdm",
+    "SyntheticSystem",
+    "SyntheticTaskSpec",
+    "build_synthetic_task",
+    "generate_task_set",
+    "uunifast_utilisations",
+    "EXPERIMENT_I",
+    "EXPERIMENT_II",
+    "build_experiment",
+    "build_workload",
+    "workload_names",
+]

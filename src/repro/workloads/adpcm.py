@@ -1,0 +1,292 @@
+"""ADPCMC / ADPCMD — the MediaBench ADPCM coder and decoder (Experiment II).
+
+IMA ADPCM with the standard 89-entry step-size table.  The reference C
+code is full of data-dependent ``if``s; here every conditional becomes
+branch-free integer arithmetic (comparisons produce 0/1 multipliers,
+clamps use min/max), so each task is a single feasible path — but the
+*addresses* of the step-table lookups still depend on the input signal,
+exactly the data-dependent access pattern that makes the conservative
+"may" treatment in the RMB/LMB analysis earn its keep.
+"""
+
+from __future__ import annotations
+
+from repro.program.builder import ProgramBuilder
+from repro.workloads.base import Scenario, Workload
+from repro.workloads.signals import lcg_sequence, pcm_frame
+
+#: The standard IMA ADPCM step-size table (89 entries).
+STEP_TABLE = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+    41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+    190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+    724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894,
+    6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289,
+    16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+]
+
+#: Index adjustment per 3-bit magnitude code (sign bit handled separately).
+INDEX_TABLE = [-1, -1, -1, -1, 2, 4, 6, 8]
+
+PCM_MIN = -32768
+PCM_MAX = 32767
+MAX_STEP_INDEX = 88
+
+
+def _emit_quantize(b: ProgramBuilder) -> None:
+    """diff, step -> delta (3-bit magnitude), branch-free IMA quantizer."""
+    b.const("delta", 0)
+    b.mov("temp", "step")
+    for bit in (4, 2):
+        b.binop("take", "ge", "diff", "temp")
+        b.mul("bump", "take", bit)
+        b.add("delta", "delta", "bump")
+        b.mul("cut", "take", "temp")
+        b.sub("diff", "diff", "cut")
+        b.binop("temp", "shr", "temp", 1)
+    b.binop("take", "ge", "diff", "temp")
+    b.add("delta", "delta", "take")
+
+
+def _emit_dequantize(b: ProgramBuilder) -> None:
+    """delta (3-bit magnitude), step -> diffq, the reconstruction step."""
+    b.binop("diffq", "shr", "step", 3)
+    b.binop("bit4", "shr", "delta", 2)
+    b.binop("bit4", "and", "bit4", 1)
+    b.mul("part", "bit4", "step")
+    b.add("diffq", "diffq", "part")
+    b.binop("bit2", "shr", "delta", 1)
+    b.binop("bit2", "and", "bit2", 1)
+    b.binop("half_step", "shr", "step", 1)
+    b.mul("part", "bit2", "half_step")
+    b.add("diffq", "diffq", "part")
+    b.binop("bit1", "and", "delta", 1)
+    b.binop("quarter", "shr", "step", 2)
+    b.mul("part", "bit1", "quarter")
+    b.add("diffq", "diffq", "part")
+
+
+def _emit_state_update(b: ProgramBuilder, index_table, step_table) -> None:
+    """Predictor clamp and step-index table update (shared by both codecs)."""
+    b.binop("predicted", "min", "predicted", PCM_MAX)
+    b.binop("predicted", "max", "predicted", PCM_MIN)
+    b.load("adjust", index_table, index="delta")
+    b.add("step_index", "step_index", "adjust")
+    b.binop("step_index", "min", "step_index", MAX_STEP_INDEX)
+    b.binop("step_index", "max", "step_index", 0)
+
+
+def build_adpcm_coder(samples: int = 256, audio_seed: int = 21) -> Workload:
+    """ADPCMC: encode *samples* PCM samples to 4-bit IMA codes.
+
+    After the encode loop a one-shot packing phase folds pairs of nibbles
+    into the ``packed`` output buffer.  That buffer is only touched in this
+    final phase, so it belongs to the task's footprint ``Ma`` but *not* to
+    its MUMBS — the structural feature that lets Approach 3/4 beat the
+    pure footprint intersection of Approach 2 (paper Table II, "ADPCMC by
+    ADPCMD").
+    """
+    if samples < 2 or samples % 2:
+        raise ValueError("samples must be an even number >= 2")
+    b = ProgramBuilder("adpcmc")
+    pcm_in = b.array("pcm_in", words=samples)
+    encoded = b.array("encoded", words=samples)
+    packed = b.array("packed", words=samples // 2)
+    step_table = b.array("step_table", words=len(STEP_TABLE))
+    index_table = b.array("index_table", words=len(INDEX_TABLE))
+    state = b.array("state", words=2)  # final predictor, final index
+
+    b.const("predicted", 0)
+    b.const("step_index", 0)
+    with b.loop(samples) as i:
+        b.load("sample", pcm_in, index=i)
+        b.load("step", step_table, index="step_index")
+        b.sub("diff", "sample", "predicted")
+        b.binop("negative", "lt", "diff", 0)
+        b.unop("diff", "abs", "diff")
+        _emit_quantize(b)
+        _emit_dequantize(b)
+        # predicted += sign ? -diffq : +diffq, without branching.
+        b.mul("swing", "negative", -2)
+        b.add("swing", "swing", 1)
+        b.mul("signed_diffq", "diffq", "swing")
+        b.add("predicted", "predicted", "signed_diffq")
+        _emit_state_update(b, index_table, step_table)
+        b.mul("code", "negative", 8)
+        b.add("code", "code", "delta")
+        b.store("code", encoded, index=i)
+    # One-shot packing phase: two 4-bit codes per output word.
+    with b.loop(samples // 2) as p:
+        b.mul("eidx", p, 2)
+        b.load("lo_code", encoded, index="eidx")
+        b.add("eidx", "eidx", 1)
+        b.load("hi_code", encoded, index="eidx")
+        b.binop("hi_code", "shl", "hi_code", 4)
+        b.binop("word", "or", "lo_code", "hi_code")
+        b.store("word", packed, index=p)
+    b.store("predicted", state, index=0)
+    b.store("step_index", state, index=1)
+    program = b.build()
+
+    tables = {"step_table": STEP_TABLE, "index_table": INDEX_TABLE}
+    scenarios = [
+        Scenario(
+            name="tone",
+            inputs={**tables, "pcm_in": pcm_frame(samples, seed=audio_seed)},
+        ),
+        Scenario(
+            name="noise",
+            inputs={
+                **tables,
+                "pcm_in": lcg_sequence(audio_seed + 5, samples, -30000, 30000),
+            },
+        ),
+    ]
+    return Workload(
+        program=program,
+        scenarios=scenarios,
+        description=(
+            "IMA ADPCM coder (MediaBench): branch-free quantiser with "
+            "data-dependent step-table lookups; lowest-priority task of "
+            "Experiment II."
+        ),
+    )
+
+
+def build_adpcm_decoder(codes: int = 192, code_seed: int = 23) -> Workload:
+    """ADPCMD: decode *codes* 4-bit IMA codes back to PCM.
+
+    After the decode loop a one-shot phase linearly upsamples the decoded
+    frame 2x into ``upsampled``.  The buffer is only touched in that final
+    phase, so it inflates the task's footprint (what Approaches 1/2 see of
+    ADPCMD as a *preemptor*) without inflating its own useful set.
+    """
+    if codes < 2:
+        raise ValueError("codes must be >= 2")
+    b = ProgramBuilder("adpcmd")
+    encoded_in = b.array("encoded_in", words=codes)
+    pcm_out = b.array("pcm_out", words=codes)
+    upsampled = b.array("upsampled", words=2 * codes)
+    step_table = b.array("step_table", words=len(STEP_TABLE))
+    index_table = b.array("index_table", words=len(INDEX_TABLE))
+    state = b.array("state", words=2)
+
+    b.const("predicted", 0)
+    b.const("step_index", 0)
+    with b.loop(codes) as i:
+        b.load("code", encoded_in, index=i)
+        b.load("step", step_table, index="step_index")
+        b.binop("negative", "shr", "code", 3)
+        b.binop("delta", "and", "code", 7)
+        _emit_dequantize(b)
+        b.mul("swing", "negative", -2)
+        b.add("swing", "swing", 1)
+        b.mul("signed_diffq", "diffq", "swing")
+        b.add("predicted", "predicted", "signed_diffq")
+        _emit_state_update(b, index_table, step_table)
+        b.store("predicted", pcm_out, index=i)
+    # One-shot 2x linear upsampling of the decoded frame.
+    with b.loop(codes - 1) as i:
+        b.load("cur", pcm_out, index=i)
+        b.add("nxt_idx", i, 1)
+        b.load("nxt", pcm_out, index="nxt_idx")
+        b.add("mid", "cur", "nxt")
+        b.binop("mid", "shr", "mid", 1)
+        b.mul("uidx", i, 2)
+        b.store("cur", upsampled, index="uidx")
+        b.add("uidx", "uidx", 1)
+        b.store("mid", upsampled, index="uidx")
+    b.load("cur", pcm_out, index=codes - 1)
+    b.store("cur", upsampled, index=2 * codes - 2)
+    b.store("cur", upsampled, index=2 * codes - 1)
+    b.store("predicted", state, index=0)
+    b.store("step_index", state, index=1)
+    program = b.build()
+
+    tables = {"step_table": STEP_TABLE, "index_table": INDEX_TABLE}
+    scenarios = [
+        Scenario(
+            name="stream_a",
+            inputs={**tables, "encoded_in": lcg_sequence(code_seed, codes, 0, 15)},
+        ),
+        Scenario(
+            name="stream_b",
+            inputs={
+                **tables,
+                "encoded_in": lcg_sequence(code_seed + 9, codes, 0, 15),
+            },
+        ),
+    ]
+    return Workload(
+        program=program,
+        scenarios=scenarios,
+        description=(
+            "IMA ADPCM decoder (MediaBench): branch-free reconstruction "
+            "with data-dependent step-table lookups; middle-priority task "
+            "of Experiment II."
+        ),
+    )
+
+
+def reference_encode(samples: list[int]) -> list[int]:
+    """Pure-Python IMA ADPCM encoder matching the IR program bit-for-bit.
+
+    Used by tests to validate the workload's functional behaviour.
+    """
+    predicted = 0
+    step_index = 0
+    codes: list[int] = []
+    for sample in samples:
+        step = STEP_TABLE[step_index]
+        diff = sample - predicted
+        negative = 1 if diff < 0 else 0
+        diff = abs(diff)
+        delta = 0
+        temp = step
+        for bit in (4, 2):
+            if diff >= temp:
+                delta += bit
+                diff -= temp
+            temp >>= 1
+        if diff >= temp:
+            delta += 1
+        diffq = _reference_diffq(delta, step)
+        predicted += -diffq if negative else diffq
+        predicted = max(PCM_MIN, min(PCM_MAX, predicted))
+        step_index = max(0, min(MAX_STEP_INDEX, step_index + INDEX_TABLE[delta]))
+        codes.append(negative * 8 + delta)
+    return codes
+
+
+def reference_decode(codes: list[int]) -> list[int]:
+    """Pure-Python IMA ADPCM decoder matching the IR program bit-for-bit."""
+    predicted = 0
+    step_index = 0
+    samples: list[int] = []
+    for code in codes:
+        step = STEP_TABLE[step_index]
+        negative = code >> 3
+        delta = code & 7
+        diffq = _reference_diffq(delta, step)
+        predicted += -diffq if negative else diffq
+        predicted = max(PCM_MIN, min(PCM_MAX, predicted))
+        step_index = max(0, min(MAX_STEP_INDEX, step_index + INDEX_TABLE[delta]))
+        samples.append(predicted)
+    return samples
+
+
+def reference_pack(codes: list[int]) -> list[int]:
+    """Pure-Python nibble packer matching the coder's flush phase."""
+    return [codes[i] | (codes[i + 1] << 4) for i in range(0, len(codes) - 1, 2)]
+
+
+def _reference_diffq(delta: int, step: int) -> int:
+    diffq = step >> 3
+    if delta & 4:
+        diffq += step
+    if delta & 2:
+        diffq += step >> 1
+    if delta & 1:
+        diffq += step >> 2
+    return diffq

@@ -1,0 +1,59 @@
+"""Workload packaging: a program plus the input scenarios that drive it.
+
+Each scenario fixes every input array of the program; together the
+scenarios must cover all feasible paths (the paper's SYMTA-style trace
+derivation simulates each path, Section III-B).  The scenario whose
+isolated run is slowest defines the task's WCET.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.program.builder import Program
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One concrete input assignment: array name -> initial values."""
+
+    name: str
+    inputs: dict[str, list[int]] = field(default_factory=dict)
+
+
+@dataclass
+class Workload:
+    """A benchmark task: the program, its inputs and a short description."""
+
+    program: Program
+    scenarios: list[Scenario]
+    description: str
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ValueError(f"workload {self.name!r} has no scenarios")
+        names = [scenario.name for scenario in self.scenarios]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate scenario names in {self.name!r}: {names}")
+        declared = set(self.program.arrays)
+        for scenario in self.scenarios:
+            unknown = set(scenario.inputs) - declared
+            if unknown:
+                raise ValueError(
+                    f"scenario {scenario.name!r} of {self.name!r} initialises "
+                    f"undeclared arrays: {sorted(unknown)}"
+                )
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+    def scenario_map(self) -> dict[str, dict[str, list[int]]]:
+        """The mapping shape :func:`repro.analysis.wcet.measure_wcet` wants."""
+        return {scenario.name: dict(scenario.inputs) for scenario in self.scenarios}
+
+    def scenario(self, name: str) -> Scenario:
+        for scenario in self.scenarios:
+            if scenario.name == name:
+                return scenario
+        raise KeyError(f"workload {self.name!r} has no scenario {name!r}")

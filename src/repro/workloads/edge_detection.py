@@ -1,0 +1,137 @@
+"""ED — the Edge Detection task of Experiment I (Example 5, Figure 4).
+
+The paper's ED processes obstacle images with one of two user-selected
+operators, Sobel or Cauchy; the operator choice is the input-dependent
+branch that motivates the Section VI path analysis (only one of the two
+operator segments executes per run, so only its tables and buffers can
+evict cache lines).  Both operators are 3x3 neighbourhood kernels over a
+fixed-size grayscale image with fixed loop bounds, so each arm is an
+SFP-PrS segment.
+
+All arithmetic is integer and branch-free inside the loops (thresholding
+uses comparison ops that produce 0/1), preserving the SFP-PrS property.
+"""
+
+from __future__ import annotations
+
+from repro.program.builder import ProgramBuilder
+from repro.workloads.base import Scenario, Workload
+from repro.workloads.signals import synthetic_image
+
+SOBEL_GX = [-1, 0, 1, -2, 0, 2, -1, 0, 1]
+SOBEL_GY = [-1, -2, -1, 0, 0, 0, 1, 2, 1]
+CAUCHY_KERNEL = [1, 2, 1, 2, 4, 2, 1, 2, 1]
+
+
+def build_edge_detection(
+    width: int = 12,
+    height: int = 12,
+    threshold: int = 200,
+    image_seed: int = 7,
+) -> Workload:
+    """Build the ED workload over a ``width x height`` image.
+
+    Returns a workload with two scenarios, one per operator, so the WCET
+    measurement covers both feasible paths.
+    """
+    if width < 3 or height < 3:
+        raise ValueError("image must be at least 3x3")
+    b = ProgramBuilder("ed")
+    image = b.array("image", words=width * height)
+    edges = b.array("edges", words=(width - 2) * (height - 2))
+    sobel_gx = b.array("sobel_gx", words=9)
+    sobel_gy = b.array("sobel_gy", words=9)
+    cauchy_k = b.array("cauchy_k", words=9)
+    angle_lut = b.array("angle_lut", words=32)
+    operator = b.scalar("operator")
+
+    out_width = width - 2
+
+    def convolve_tap(counter_y: str, counter_x: str, ky: str, kx: str) -> None:
+        """Load image[(y+ky)*W + (x+kx)] into register ``pix``."""
+        b.add("row", counter_y, ky)
+        b.mul("idx", "row", width)
+        b.add("col", counter_x, kx)
+        b.add("idx", "idx", "col")
+        b.load("pix", image, index="idx")
+
+    b.load("op", operator, index=0)
+    with b.if_else("op") as arms:
+        with arms.then_case():
+            # --- Sobel path: two directional kernels, |gx| + |gy| -------
+            with b.loop(height - 2) as y:
+                with b.loop(width - 2) as x:
+                    b.const("gx", 0)
+                    b.const("gy", 0)
+                    with b.loop(3) as ky:
+                        with b.loop(3) as kx:
+                            convolve_tap(y, x, ky, kx)
+                            b.mul("kidx", ky, 3)
+                            b.add("kidx", "kidx", kx)
+                            b.load("wx", sobel_gx, index="kidx")
+                            b.load("wy", sobel_gy, index="kidx")
+                            b.mul("tmp", "pix", "wx")
+                            b.add("gx", "gx", "tmp")
+                            b.mul("tmp", "pix", "wy")
+                            b.add("gy", "gy", "tmp")
+                    b.unop("gx", "abs", "gx")
+                    b.unop("gy", "abs", "gy")
+                    b.add("mag", "gx", "gy")
+                    b.binop("edge", "ge", "mag", threshold)
+                    b.mul("edge", "edge", 255)
+                    b.mul("oidx", y, out_width)
+                    b.add("oidx", "oidx", x)
+                    b.store("edge", edges, index="oidx")
+        with arms.else_case():
+            # --- Cauchy path: smoothing kernel + angle table lookup -----
+            with b.loop(height - 2) as y:
+                with b.loop(width - 2) as x:
+                    b.const("acc", 0)
+                    with b.loop(3) as ky:
+                        with b.loop(3) as kx:
+                            convolve_tap(y, x, ky, kx)
+                            b.mul("kidx", ky, 3)
+                            b.add("kidx", "kidx", kx)
+                            b.load("w", cauchy_k, index="kidx")
+                            b.mul("tmp", "pix", "w")
+                            b.add("acc", "acc", "tmp")
+                    b.binop("acc", "div", "acc", 16)
+                    # Centre-pixel contrast drives the edge response.
+                    b.add("row", y, 1)
+                    b.mul("idx", "row", width)
+                    b.add("idx", "idx", x)
+                    b.add("idx", "idx", 1)
+                    b.load("centre", image, index="idx")
+                    b.sub("resp", "centre", "acc")
+                    b.unop("resp", "abs", "resp")
+                    b.binop("aidx", "shr", "resp", 3)
+                    b.binop("aidx", "min", "aidx", 31)
+                    b.load("angle", angle_lut, index="aidx")
+                    b.binop("edge", "ge", "resp", threshold // 4)
+                    b.mul("edge", "edge", "angle")
+                    b.mul("oidx", y, out_width)
+                    b.add("oidx", "oidx", x)
+                    b.store("edge", edges, index="oidx")
+    program = b.build()
+
+    pixels = synthetic_image(width, height, seed=image_seed)
+    common = {
+        "image": pixels,
+        "sobel_gx": SOBEL_GX,
+        "sobel_gy": SOBEL_GY,
+        "cauchy_k": CAUCHY_KERNEL,
+        "angle_lut": [min(255, 8 * i) for i in range(32)],
+    }
+    scenarios = [
+        Scenario(name="sobel", inputs={**common, "operator": [1]}),
+        Scenario(name="cauchy", inputs={**common, "operator": [0]}),
+    ]
+    return Workload(
+        program=program,
+        scenarios=scenarios,
+        description=(
+            "Edge detection with a user-selected Sobel or Cauchy operator; "
+            "the operator branch yields two feasible SFP-PrS paths "
+            "(paper Example 5 / Figure 4)."
+        ),
+    )

@@ -1,0 +1,78 @@
+"""FIR — a seventh, user-style workload (the docs/extending.md recipe).
+
+A direct-form FIR filter in Q12 fixed point: not one of the paper's six
+benchmarks, but the canonical "my own task" a user of this library would
+add first.  It doubles as the living version of the worked example in
+``docs/extending.md`` — if that recipe drifts from reality, the tests
+here catch it.
+"""
+
+from __future__ import annotations
+
+from repro.program.builder import ProgramBuilder
+from repro.workloads.base import Scenario, Workload
+from repro.workloads.signals import lcg_sequence, pcm_frame
+
+
+def fir_coefficients(taps: int) -> list[int]:
+    """A Q12 low-pass-ish symmetric kernel (triangular window)."""
+    half = (taps + 1) // 2
+    ramp = [1 + i for i in range(half)]
+    window = ramp + ramp[: taps - half][::-1]
+    total = sum(window)
+    return [round(w * 4096 / total) for w in window]
+
+
+def reference_fir(samples: list[int], coefficients: list[int]) -> list[int]:
+    """Pure-Python reference matching the IR program bit-for-bit."""
+    taps = len(coefficients)
+    out = []
+    for n in range(len(samples) - taps):
+        acc = 0
+        for k in range(taps):
+            acc += samples[n + k] * coefficients[k]
+        out.append(acc >> 12)
+    return out
+
+
+def build_fir(taps: int = 16, samples: int = 96, seed: int = 31) -> Workload:
+    """Build the FIR workload: ``samples - taps`` outputs of a *taps* filter."""
+    if taps < 2:
+        raise ValueError("taps must be >= 2")
+    if samples <= taps:
+        raise ValueError("samples must exceed taps")
+    b = ProgramBuilder("fir")
+    x = b.array("x", words=samples)
+    h = b.array("h", words=taps)
+    y = b.array("y", words=samples - taps)
+    with b.loop(samples - taps) as n:
+        b.const("acc", 0)
+        with b.loop(taps) as k:
+            b.add("idx", n, k)
+            b.load("xv", x, index="idx")
+            b.load("hv", h, index=k)
+            b.mul("prod", "xv", "hv")
+            b.add("acc", "acc", "prod")
+        b.binop("acc", "shr", "acc", 12)
+        b.store("acc", y, index=n)
+    program = b.build()
+
+    return Workload(
+        program=program,
+        scenarios=[
+            Scenario(
+                name="audio",
+                inputs={"x": pcm_frame(samples, seed=seed),
+                        "h": fir_coefficients(taps)},
+            ),
+            Scenario(
+                name="noise",
+                inputs={"x": lcg_sequence(seed + 3, samples, -2048, 2048),
+                        "h": fir_coefficients(taps)},
+            ),
+        ],
+        description=(
+            f"direct-form Q12 FIR filter ({taps} taps over {samples} "
+            f"samples); the docs/extending.md worked example"
+        ),
+    )

@@ -1,0 +1,153 @@
+"""IDCT — the inverse DCT task extracted from an MPEG-2 decoder (Exp. II).
+
+A separable integer inverse DCT over ``num_blocks`` coefficient blocks:
+a row pass into a temporary buffer, then a column pass into the output,
+both as table-driven multiply-accumulate loops with Q12 basis tables
+(the per-frequency normalisation is baked into the table, as real
+fixed-point decoders do).  All loop bounds are fixed and there are no
+data-dependent branches, so the task is a single feasible path — the
+paper's highest-priority Experiment II task.
+
+The default block dimension is 4 (H.264-style) rather than MPEG-2's 8 so
+that IDCT stays the *smallest* task of Experiment II, matching the paper's
+WCET ordering on our scaled substrate; pass ``block_dim=8`` for the full
+MPEG-2 geometry.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.program.builder import ProgramBuilder
+from repro.workloads.base import Scenario, Workload
+from repro.workloads.signals import dct_coefficients
+
+
+def idct_basis_table(dim: int) -> list[int]:
+    """Q12 IDCT basis: ``table[u*dim + x] = round(c_u * cos(...) * 4096)``.
+
+    ``c_u`` is the orthonormal DCT-III scale factor sqrt(1/dim) for u=0 and
+    sqrt(2/dim) otherwise.
+    """
+    table: list[int] = []
+    for u in range(dim):
+        scale = math.sqrt(1.0 / dim) if u == 0 else math.sqrt(2.0 / dim)
+        for x in range(dim):
+            value = scale * math.cos((2 * x + 1) * u * math.pi / (2 * dim))
+            table.append(round(value * 4096))
+    return table
+
+
+def reference_idct(coefficients: list[int], dim: int) -> list[int]:
+    """Pure-Python separable IDCT matching the IR program bit-for-bit."""
+    table = idct_basis_table(dim)
+    tmp = [0] * (dim * dim)
+    for row in range(dim):
+        for x in range(dim):
+            acc = 0
+            for u in range(dim):
+                acc += coefficients[row * dim + u] * table[u * dim + x]
+            tmp[row * dim + x] = acc >> 12
+    out = [0] * (dim * dim)
+    for col in range(dim):
+        for y in range(dim):
+            acc = 0
+            for v in range(dim):
+                acc += tmp[v * dim + col] * table[v * dim + y]
+            out[y * dim + col] = acc >> 12
+    return out
+
+
+def build_idct(
+    num_blocks: int = 2,
+    block_dim: int = 4,
+    coeff_seed: int = 17,
+) -> Workload:
+    """Build the IDCT workload over *num_blocks* ``block_dim**2`` blocks."""
+    if num_blocks < 1:
+        raise ValueError("num_blocks must be >= 1")
+    if block_dim < 2:
+        raise ValueError("block_dim must be >= 2")
+    dim = block_dim
+    block_words = dim * dim
+    b = ProgramBuilder("idct")
+    coeffs = b.array("coeffs", words=block_words * num_blocks)
+    pixels = b.array("pixels", words=block_words * num_blocks)
+    basis = b.array("basis", words=block_words)
+    tmp = b.array("tmp", words=block_words)
+
+    with b.loop(num_blocks) as blk:
+        b.mul("base", blk, block_words)
+        # Row pass: tmp[row][x] = sum_u coeffs[row][u] * basis[u][x].
+        with b.loop(dim) as row:
+            b.mul("row_off", row, dim)
+            with b.loop(dim) as x:
+                b.const("acc", 0)
+                with b.loop(dim) as u:
+                    b.add("cidx", "row_off", u)
+                    b.add("cidx", "cidx", "base")
+                    b.load("coef", coeffs, index="cidx")
+                    b.mul("bidx", u, dim)
+                    b.add("bidx", "bidx", x)
+                    b.load("w", basis, index="bidx")
+                    b.mul("prod", "coef", "w")
+                    b.add("acc", "acc", "prod")
+                b.binop("acc", "shr", "acc", 12)
+                b.add("tidx", "row_off", x)
+                b.store("acc", tmp, index="tidx")
+        # Column pass: pixels[y][col] = sum_v tmp[v][col] * basis[v][y].
+        with b.loop(dim) as col:
+            with b.loop(dim) as y:
+                b.const("acc", 0)
+                with b.loop(dim) as v:
+                    b.mul("tidx", v, dim)
+                    b.add("tidx", "tidx", col)
+                    b.load("t", tmp, index="tidx")
+                    b.mul("bidx", v, dim)
+                    b.add("bidx", "bidx", y)
+                    b.load("w", basis, index="bidx")
+                    b.mul("prod", "t", "w")
+                    b.add("acc", "acc", "prod")
+                b.binop("acc", "shr", "acc", 12)
+                b.mul("pidx", y, dim)
+                b.add("pidx", "pidx", col)
+                b.add("pidx", "pidx", "base")
+                b.store("acc", pixels, index="pidx")
+    program = b.build()
+
+    scenarios = [
+        Scenario(
+            name="sparse",
+            inputs={
+                "coeffs": dct_coefficients(block_words * num_blocks, seed=coeff_seed)
+                if dim == 8
+                else _scaled_coefficients(block_words * num_blocks, dim, coeff_seed),
+                "basis": idct_basis_table(dim),
+            },
+        ),
+    ]
+    return Workload(
+        program=program,
+        scenarios=scenarios,
+        description=(
+            "Separable integer inverse DCT with a Q12 basis table; "
+            "highest-priority task of Experiment II."
+        ),
+    )
+
+
+def _scaled_coefficients(count: int, dim: int, seed: int) -> list[int]:
+    """Sparse coefficient pattern generalised to non-8x8 block sizes."""
+    from repro.workloads.signals import lcg_sequence
+
+    noise = lcg_sequence(seed, count, -64, 64)
+    values: list[int] = []
+    for i in range(count):
+        row, col = divmod(i % (dim * dim), dim)
+        if row + col == 0:
+            values.append(800 + noise[i])
+        elif row + col <= max(2, dim // 2):
+            values.append(noise[i] * 3)
+        else:
+            values.append(0)
+    return values

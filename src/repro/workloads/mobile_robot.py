@@ -1,0 +1,129 @@
+"""MR — the Mobile Robot control task of Experiment I.
+
+The paper's MR updates the robot's behaviour every 3.5 ms; it is the
+shortest, highest-priority task.  Our equivalent is a classic embedded
+control loop: fuse a range-sensor sweep with per-sensor weights, decay and
+update an occupancy-evidence grid from the readings, blend the fused range
+with a planned-trajectory point, maintain a small state history, run an
+integer PD controller and fan the command out to the actuators.  The task is a single feasible path (all loop bounds
+fixed, clamping via min/max — no data-dependent branches).
+"""
+
+from __future__ import annotations
+
+from repro.program.builder import ProgramBuilder
+from repro.workloads.base import Scenario, Workload
+from repro.workloads.signals import sensor_readings
+
+NUM_SENSORS = 16
+HISTORY_DEPTH = 8
+NUM_ACTUATORS = 8
+GRID_CELLS = 128
+TRAJECTORY_POINTS = 48
+
+
+def build_mobile_robot(
+    control_iterations: int = 8,
+    sensor_seed: int = 3,
+) -> Workload:
+    """Build the MR workload; *control_iterations* scales its WCET."""
+    if control_iterations < 1:
+        raise ValueError("control_iterations must be >= 1")
+    b = ProgramBuilder("mr")
+    sensors = b.array("sensors", words=NUM_SENSORS)
+    weights = b.array("weights", words=NUM_SENSORS)
+    history = b.array("history", words=HISTORY_DEPTH)
+    gains = b.array("gains", words=4)  # kp, kd, shift, clamp
+    steering = b.array("steering", words=NUM_ACTUATORS)
+    actuators = b.array("actuators", words=NUM_ACTUATORS)
+    grid = b.array("grid", words=GRID_CELLS)  # occupancy evidence map
+    trajectory = b.array("trajectory", words=TRAJECTORY_POINTS)
+    target = b.scalar("target")
+
+    b.load("kp", gains, index=0)
+    b.load("kd", gains, index=1)
+    b.load("shift", gains, index=2)
+    b.load("clamp", gains, index=3)
+    b.load("goal", target, index=0)
+    with b.loop(control_iterations):
+        # Weighted sensor fusion.
+        b.const("acc", 0)
+        b.const("wsum", 0)
+        with b.loop(NUM_SENSORS) as s:
+            b.load("reading", sensors, index=s)
+            b.load("weight", weights, index=s)
+            b.mul("tmp", "reading", "weight")
+            b.add("acc", "acc", "tmp")
+            b.add("wsum", "wsum", "weight")
+        b.binop("wsum", "max", "wsum", 1)
+        b.binop("avg", "div", "acc", "wsum")
+        # Update the occupancy grid: each sensor deposits evidence in the
+        # cell its range reading points at (data-dependent store address),
+        # and the whole map decays towards zero.
+        with b.loop(GRID_CELLS) as g:
+            b.load("cell", grid, index=g)
+            b.mul("cell", "cell", 7)
+            b.binop("cell", "shr", "cell", 3)
+            b.store("cell", grid, index=g)
+        with b.loop(NUM_SENSORS) as s:
+            b.load("reading", sensors, index=s)
+            b.binop("cidx", "shr", "reading", 4)
+            b.binop("cidx", "min", "cidx", GRID_CELLS - 1)
+            b.binop("cidx", "max", "cidx", 0)
+            b.load("cell", grid, index="cidx")
+            b.add("cell", "cell", 16)
+            b.binop("cell", "min", "cell", 255)
+            b.store("cell", grid, index="cidx")
+        # Blend the fused range with the planned trajectory point.
+        b.binop("tp", "mod", "avg", TRAJECTORY_POINTS)
+        b.load("planned", trajectory, index="tp")
+        b.add("goal_now", "goal", "planned")
+        # Shift the state history (oldest drops off the end).
+        with b.loop(HISTORY_DEPTH - 1) as h:
+            b.const("limit", HISTORY_DEPTH - 2)
+            b.binop("src", "sub", "limit", h)
+            b.load("old", history, index="src")
+            b.binop("dst", "add", "src", 1)
+            b.store("old", history, index="dst")
+        # PD control with clamping (branch-free via min/max).
+        b.load("prev", history, index=1)
+        b.sub("error", "goal_now", "avg")
+        b.sub("deriv", "error", "prev")
+        b.mul("p_term", "kp", "error")
+        b.mul("d_term", "kd", "deriv")
+        b.add("command", "p_term", "d_term")
+        b.binop("command", "shr", "command", "shift")
+        b.unop("neg_clamp", "neg", "clamp")
+        b.binop("command", "min", "command", "clamp")
+        b.binop("command", "max", "command", "neg_clamp")
+        b.store("error", history, index=0)
+        # Fan the command out to the actuators through the steering map.
+        with b.loop(NUM_ACTUATORS) as a:
+            b.load("scale", steering, index=a)
+            b.mul("out", "command", "scale")
+            b.binop("out", "div", "out", 16)
+            b.store("out", actuators, index=a)
+    program = b.build()
+
+    scenarios = [
+        Scenario(
+            name="sweep",
+            inputs={
+                "sensors": sensor_readings(NUM_SENSORS, seed=sensor_seed),
+                "weights": [3, 5, 7, 9, 11, 13, 15, 16, 16, 15, 13, 11, 9, 7, 5, 3],
+                "gains": [24, 9, 4, 4000],
+                "steering": [16, 14, 12, 10, -10, -12, -14, -16],
+                "trajectory": [(i * 13) % 200 - 100 for i in range(TRAJECTORY_POINTS)],
+                "target": [900],
+            },
+        ),
+    ]
+    return Workload(
+        program=program,
+        scenarios=scenarios,
+        description=(
+            "Mobile-robot control: weighted sensor fusion, state history and "
+            "an integer PD controller driving eight actuators (single "
+            "feasible path, highest-priority task of Experiment I)."
+        ),
+    )

@@ -1,0 +1,174 @@
+"""OFDM — the OFDM transmitter task of Experiment I.
+
+The paper's OFDM task transmits robot-to-robot frames every 40 ms and is
+the lowest-priority task, i.e. the one whose WCRT suffers all the cache
+reload overhead (Tables II-IV report "OFDM by MR" and "OFDM by ED").
+
+The kernel follows a real OFDM transmit chain in fixed-point integer
+arithmetic, structured as four distinct phases:
+
+1. QPSK-map a scrambled 2-bit data stream onto the subcarriers in
+   bit-reversed order,
+2. run an iterative radix-2 inverse-FFT-style transform with Q12 twiddle
+   factors over the work buffers,
+3. emit the time-domain frame (cyclic prefix + samples) into the output
+   buffers, and
+4. apply a raised-cosine-style window to the emitted frame in place.
+
+The phase structure matters for the analysis: the data stream is only read
+in phase 1 and the output buffers only live in phases 3-4, so the task's
+MUMBS (Definition 4) is a strict subset of its footprint — phase-local
+blocks cannot be useful at the worst execution point.  All loop bounds are
+fixed (per-stage butterfly geometry is computed arithmetically from a flat
+butterfly index), so the whole task is a single feasible path.
+"""
+
+from __future__ import annotations
+
+from repro.program.builder import ProgramBuilder
+from repro.workloads.base import Scenario, Workload
+from repro.workloads.signals import (
+    bit_reverse_table,
+    lcg_sequence,
+    q12_cos_table,
+    q12_sin_table,
+)
+
+Q = 1024  # QPSK amplitude in Q12-friendly units
+
+
+def build_ofdm(
+    fft_size: int = 128,
+    prefix: int = 32,
+    data_seed: int = 11,
+) -> Workload:
+    """Build the OFDM transmitter for one *fft_size*-carrier symbol."""
+    stages = fft_size.bit_length() - 1
+    if 1 << stages != fft_size or fft_size < 4:
+        raise ValueError(f"fft_size must be a power of two >= 4, got {fft_size}")
+    if not 0 < prefix <= fft_size:
+        raise ValueError(f"prefix must be in (0, {fft_size}], got {prefix}")
+    frame_len = fft_size + prefix
+
+    b = ProgramBuilder("ofdm")
+    qdata = b.array("qdata", words=fft_size)  # 2-bit values 0..3
+    scramble = b.array("scramble", words=fft_size)
+    brev = b.array("brev", words=fft_size)
+    cos_tab = b.array("cos_tab", words=fft_size)
+    sin_tab = b.array("sin_tab", words=fft_size)
+    work_re = b.array("work_re", words=fft_size)
+    work_im = b.array("work_im", words=fft_size)
+    out_re = b.array("out_re", words=frame_len)
+    out_im = b.array("out_im", words=frame_len)
+    window = b.array("window", words=frame_len)
+
+    # --- Phase 1: QPSK map (with scrambling) into bit-reversed order ----
+    with b.loop(fft_size) as i:
+        b.load("two_bits", qdata, index=i)
+        b.load("mask", scramble, index=i)
+        b.binop("two_bits", "xor", "two_bits", "mask")
+        b.binop("bit_i", "and", "two_bits", 1)
+        b.binop("bit_q", "shr", "two_bits", 1)
+        # 0 -> +Q, 1 -> -Q without branching.
+        b.mul("re_val", "bit_i", -2 * Q)
+        b.add("re_val", "re_val", Q)
+        b.mul("im_val", "bit_q", -2 * Q)
+        b.add("im_val", "im_val", Q)
+        b.load("pos", brev, index=i)
+        b.store("re_val", work_re, index="pos")
+        b.store("im_val", work_im, index="pos")
+    # --- Phase 2: iterative radix-2 transform (Q12 twiddles) ------------
+    with b.loop(stages) as stage:
+        b.binop("half", "shl", 1, stage)
+        b.add("stage1", stage, 1)
+        b.binop("span", "shl", 1, "stage1")
+        b.binop("stride", "shr", fft_size, "stage1")
+        with b.loop(fft_size // 2) as t:
+            b.binop("j", "mod", t, "half")
+            b.binop("grp", "div", t, "half")
+            b.mul("k0", "grp", "span")
+            b.add("top", "k0", "j")
+            b.add("bot", "top", "half")
+            b.mul("twidx", "j", "stride")
+            b.load("wr", cos_tab, index="twidx")
+            b.load("wi", sin_tab, index="twidx")
+            b.load("br", work_re, index="bot")
+            b.load("bi", work_im, index="bot")
+            # (wr - i*wi) * (br + i*bi), Q12 rounding by shift.
+            b.mul("t1", "wr", "br")
+            b.mul("t2", "wi", "bi")
+            b.add("tr", "t1", "t2")
+            b.binop("tr", "shr", "tr", 12)
+            b.mul("t1", "wr", "bi")
+            b.mul("t2", "wi", "br")
+            b.sub("ti", "t1", "t2")
+            b.binop("ti", "shr", "ti", 12)
+            b.load("ar", work_re, index="top")
+            b.load("ai", work_im, index="top")
+            b.sub("lo_r", "ar", "tr")
+            b.sub("lo_i", "ai", "ti")
+            b.store("lo_r", work_re, index="bot")
+            b.store("lo_i", work_im, index="bot")
+            b.add("hi_r", "ar", "tr")
+            b.add("hi_i", "ai", "ti")
+            b.store("hi_r", work_re, index="top")
+            b.store("hi_i", work_im, index="top")
+    # --- Phase 3: emit frame (cyclic prefix, then the samples) ----------
+    with b.loop(prefix) as p:
+        b.add("src", p, fft_size - prefix)
+        b.load("sample_r", work_re, index="src")
+        b.load("sample_i", work_im, index="src")
+        b.store("sample_r", out_re, index=p)
+        b.store("sample_i", out_im, index=p)
+    with b.loop(fft_size) as n:
+        b.load("sample_r", work_re, index=n)
+        b.load("sample_i", work_im, index=n)
+        b.add("dst", n, prefix)
+        b.store("sample_r", out_re, index="dst")
+        b.store("sample_i", out_im, index="dst")
+    # --- Phase 4: window the frame in place -----------------------------
+    with b.loop(frame_len) as w:
+        b.load("gain", window, index=w)
+        b.load("sample_r", out_re, index=w)
+        b.mul("sample_r", "sample_r", "gain")
+        b.binop("sample_r", "shr", "sample_r", 12)
+        b.store("sample_r", out_re, index=w)
+        b.load("sample_i", out_im, index=w)
+        b.mul("sample_i", "sample_i", "gain")
+        b.binop("sample_i", "shr", "sample_i", 12)
+        b.store("sample_i", out_im, index=w)
+    program = b.build()
+
+    # Flat-top window with raised edges, all integer Q12 gains.
+    ramp = max(1, frame_len // 8)
+    gains = []
+    for k in range(frame_len):
+        if k < ramp:
+            gains.append(4096 * (k + 1) // ramp)
+        elif k >= frame_len - ramp:
+            gains.append(4096 * (frame_len - k) // ramp)
+        else:
+            gains.append(4096)
+
+    scenarios = [
+        Scenario(
+            name="frame",
+            inputs={
+                "qdata": lcg_sequence(data_seed, fft_size, 0, 3),
+                "scramble": lcg_sequence(data_seed + 1, fft_size, 0, 3),
+                "brev": bit_reverse_table(fft_size),
+                "cos_tab": q12_cos_table(fft_size, fft_size),
+                "sin_tab": q12_sin_table(fft_size, fft_size),
+                "window": gains,
+            },
+        ),
+    ]
+    return Workload(
+        program=program,
+        scenarios=scenarios,
+        description=(
+            "OFDM transmitter: scrambled QPSK mapping, radix-2 transform "
+            "with Q12 twiddles, cyclic-prefix emission and windowing "
+            "(single feasible path, lowest-priority task of Experiment I)."
+        ),
+    )

@@ -1,0 +1,50 @@
+"""Named catalogue of the paper's six benchmark workloads."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.workloads.adpcm import build_adpcm_coder, build_adpcm_decoder
+from repro.workloads.base import Workload
+from repro.workloads.edge_detection import build_edge_detection
+from repro.workloads.fir import build_fir
+from repro.workloads.idct import build_idct
+from repro.workloads.mobile_robot import build_mobile_robot
+from repro.workloads.ofdm import build_ofdm
+
+_BUILDERS: dict[str, Callable[[], Workload]] = {
+    "ofdm": build_ofdm,
+    "ed": build_edge_detection,
+    "mr": build_mobile_robot,
+    "adpcmc": build_adpcm_coder,
+    "adpcmd": build_adpcm_decoder,
+    "idct": build_idct,
+    "fir": build_fir,  # user-style extra workload (docs/extending.md)
+}
+
+#: Experiment I tasks, highest priority first (paper Table I).
+EXPERIMENT_I = ("mr", "ed", "ofdm")
+
+#: Experiment II tasks, highest priority first (paper Table I).
+EXPERIMENT_II = ("idct", "adpcmd", "adpcmc")
+
+
+def workload_names() -> tuple[str, ...]:
+    """Names of all registered benchmark workloads."""
+    return tuple(_BUILDERS)
+
+
+def build_workload(name: str) -> Workload:
+    """Build one benchmark workload with its default parameters."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(_BUILDERS)}"
+        ) from None
+    return builder()
+
+
+def build_experiment(names: tuple[str, ...]) -> dict[str, Workload]:
+    """Build a priority-ordered experiment task set (highest first)."""
+    return {name: build_workload(name) for name in names}

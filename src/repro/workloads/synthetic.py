@@ -1,0 +1,177 @@
+"""Synthetic task-set generation for scalability studies.
+
+The paper evaluates on two 3-task sets.  A practitioner adopting the
+analysis wants to know how it behaves on *their* task set; this module
+generates parameterised synthetic tasks so the harness can sweep task
+count, footprint size, working-set phase structure and utilisation —
+the "Experiment III" the paper never had room for
+(``benchmarks/test_ext_synthetic.py``).
+
+Every generated task is a real program for the repro VM, built from three
+kinds of phases:
+
+* ``stream`` — one pass over a private buffer (footprint without reuse),
+* ``hot``    — repeated passes over a working set (useful blocks),
+* ``table``  — data-dependent lookups into a constant table (the
+  input-dependent addressing that exercises the conservative dataflow).
+
+Determinism: everything derives from the caller's seed via the same LCG
+the other workloads use; no global randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.program.builder import ProgramBuilder
+from repro.workloads.base import Scenario, Workload
+from repro.workloads.signals import lcg_sequence
+
+
+@dataclass(frozen=True)
+class SyntheticTaskSpec:
+    """Shape parameters for one generated task."""
+
+    name: str
+    stream_words: int = 64  # single-pass buffer
+    hot_words: int = 48  # repeatedly-touched working set
+    hot_passes: int = 3
+    table_words: int = 32  # lookup table (data-dependent indices)
+    lookups: int = 48
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.stream_words, self.hot_words, self.table_words) < 4:
+            raise ValueError(f"{self.name}: phases need at least 4 words each")
+        if self.hot_passes < 1 or self.lookups < 1:
+            raise ValueError(f"{self.name}: passes and lookups must be >= 1")
+
+
+def build_synthetic_task(spec: SyntheticTaskSpec) -> Workload:
+    """Generate one synthetic task program from its shape parameters."""
+    b = ProgramBuilder(spec.name)
+    stream = b.array("stream", words=spec.stream_words)
+    hot = b.array("hot", words=spec.hot_words)
+    table = b.array("table", words=spec.table_words)
+    out = b.array("out", words=spec.hot_words)
+
+    # Phase 1: single pass over the stream buffer (footprint, not useful).
+    b.const("acc", 0)
+    with b.loop(spec.stream_words) as i:
+        b.load("v", stream, index=i)
+        b.add("acc", "acc", "v")
+    # Phase 2: repeated passes over the hot working set (useful blocks).
+    with b.loop(spec.hot_passes):
+        with b.loop(spec.hot_words) as i:
+            b.load("v", hot, index=i)
+            b.binop("v", "mul", "v", 3)
+            b.add("v", "v", "acc")
+            b.store("v", out, index=i)
+    # Phase 3: data-dependent table lookups.
+    b.binop("idx", "mod", "acc", spec.table_words)
+    with b.loop(spec.lookups):
+        b.load("step", table, index="idx")
+        b.add("idx", "idx", "step")
+        b.binop("idx", "mod", "idx", spec.table_words)
+    program = b.build()
+
+    return Workload(
+        program=program,
+        scenarios=[
+            Scenario(
+                name="gen",
+                inputs={
+                    "stream": lcg_sequence(spec.seed, spec.stream_words, 0, 255),
+                    "hot": lcg_sequence(spec.seed + 1, spec.hot_words, 0, 255),
+                    "table": lcg_sequence(spec.seed + 2, spec.table_words, 1, 7),
+                },
+            )
+        ],
+        description=(
+            f"synthetic task ({spec.stream_words}w stream, "
+            f"{spec.hot_words}w x{spec.hot_passes} hot set, "
+            f"{spec.lookups} table lookups)"
+        ),
+    )
+
+
+def uunifast_utilisations(count: int, total: float, seed: int = 5) -> list[float]:
+    """UUniFast: *count* task utilisations summing to *total*.
+
+    Bini & Buttazzo's unbiased task-set generation, driven by the
+    deterministic LCG so runs are reproducible.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if not 0 < total < count:
+        raise ValueError(f"total utilisation must be in (0, {count})")
+    randoms = [value / 10**6 for value in lcg_sequence(seed, count, 0, 10**6 - 1)]
+    utilisations = []
+    remaining = total
+    for i in range(count - 1):
+        next_remaining = remaining * randoms[i] ** (1.0 / (count - 1 - i))
+        utilisations.append(remaining - next_remaining)
+        remaining = next_remaining
+    utilisations.append(remaining)
+    return utilisations
+
+
+@dataclass
+class SyntheticSystem:
+    """A generated N-task system, ready for analysis and simulation."""
+
+    workloads: dict[str, Workload]
+    priority_order: tuple[str, ...]  # highest first
+    periods: dict[str, int]
+
+
+def generate_task_set(
+    count: int,
+    total_utilisation: float = 0.6,
+    base_footprint_words: int = 48,
+    seed: int = 11,
+) -> SyntheticSystem:
+    """Generate *count* synthetic tasks with UUniFast utilisations.
+
+    Task sizes grow with the index (lower-priority tasks are bigger, as in
+    the paper's experiments); periods are derived from a rough cycles
+    estimate so that each task's utilisation lands near its UUniFast
+    share.  Exact utilisations are set by the caller after measuring real
+    WCETs (see the synthetic bench).
+    """
+    if count < 2:
+        raise ValueError("a preemption study needs at least 2 tasks")
+    utilisations = uunifast_utilisations(count, total_utilisation, seed=seed)
+    # Assign the largest utilisation to the shortest period (RMA-friendly).
+    utilisations.sort(reverse=True)
+    workloads: dict[str, Workload] = {}
+    periods: dict[str, int] = {}
+    order = []
+    for index in range(count):
+        name = f"syn{index}"
+        scale = 1 + index  # lower priority -> bigger task
+        spec = SyntheticTaskSpec(
+            name=name,
+            stream_words=base_footprint_words * scale,
+            hot_words=(base_footprint_words // 2) * scale,
+            hot_passes=2 + (index % 3),
+            table_words=16 + 8 * index,
+            lookups=24 * scale,
+            seed=seed + 17 * index,
+        )
+        workload = build_synthetic_task(spec)
+        workloads[name] = workload
+        # Rough cycle estimate: ~12 cycles per touched word per pass.
+        touched = (
+            spec.stream_words
+            + spec.hot_words * spec.hot_passes
+            + spec.lookups
+        )
+        estimated_cycles = 12 * touched
+        periods[name] = max(1000, int(estimated_cycles / utilisations[index]))
+        order.append(name)
+    return SyntheticSystem(
+        workloads=workloads,
+        priority_order=tuple(order),
+        periods=periods,
+    )

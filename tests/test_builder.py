@@ -1,0 +1,270 @@
+"""Unit tests for the structured program builder."""
+
+import pytest
+
+from repro.program import (
+    BuilderError,
+    IfElseNode,
+    LeafNode,
+    LoopNode,
+    ProgramBuilder,
+    SeqNode,
+)
+
+
+class TestStraightLine:
+    def test_minimal_program(self):
+        b = ProgramBuilder("p")
+        b.const("x", 1)
+        program = b.build()
+        program.cfg.validate()
+        assert program.cfg.labels() == ("p.entry",)
+        assert isinstance(program.structure, LeafNode)
+
+    def test_convenience_emitters(self):
+        b = ProgramBuilder("p")
+        arr = b.array("a", words=4)
+        b.const("x", 1)
+        b.mov("y", "x")
+        b.add("z", "x", "y")
+        b.sub("z", "z", 1)
+        b.mul("z", "z", 2)
+        b.unop("z", "abs", "z")
+        b.load("w", arr, index=0)
+        b.store("w", arr, index=1)
+        program = b.build()
+        entry = program.cfg.block("p.entry")
+        assert len(entry.instructions) == 8
+
+    def test_build_auto_halts(self):
+        b = ProgramBuilder("p")
+        b.const("x", 1)
+        program = b.build()
+        assert program.cfg.exit_labels() == ("p.entry",)
+
+    def test_double_build_rejected(self):
+        b = ProgramBuilder("p")
+        b.const("x", 1)
+        b.build()
+        with pytest.raises(BuilderError, match="already built"):
+            b.build()
+
+    def test_emit_after_build_rejected(self):
+        b = ProgramBuilder("p")
+        b.build()
+        with pytest.raises(BuilderError):
+            b.const("x", 1)
+
+
+class TestArrays:
+    def test_array_declaration(self):
+        b = ProgramBuilder("p")
+        arr = b.array("data", words=10)
+        assert arr.size_bytes == 40
+        program = b.build()
+        assert program.array("data").words == 10
+        assert program.data_size_bytes == 40
+
+    def test_scalar_is_one_word(self):
+        b = ProgramBuilder("p")
+        assert b.scalar("s").words == 1
+
+    def test_duplicate_array_rejected(self):
+        b = ProgramBuilder("p")
+        b.array("a", words=1)
+        with pytest.raises(BuilderError, match="already declared"):
+            b.array("a", words=2)
+
+    def test_zero_size_rejected(self):
+        b = ProgramBuilder("p")
+        with pytest.raises(BuilderError, match="positive"):
+            b.array("a", words=0)
+
+    def test_load_undeclared_array_rejected(self):
+        b = ProgramBuilder("p")
+        with pytest.raises(BuilderError, match="not declared"):
+            b.load("x", "ghost")
+
+    def test_unknown_array_lookup_on_program(self):
+        program = ProgramBuilder("p").build()
+        with pytest.raises(KeyError):
+            program.array("ghost")
+
+    def test_element_size_respected_in_load(self):
+        b = ProgramBuilder("p")
+        arr = b.array("bytes", words=8, element_size=1)
+        b.load("x", arr, index=2, disp=1)
+        program = b.build()
+        load = program.cfg.block("p.entry").instructions[0]
+        assert load.scale == 1
+        assert load.disp == 1
+
+
+class TestLoops:
+    def test_loop_structure(self):
+        b = ProgramBuilder("p")
+        with b.loop(5) as i:
+            b.add("acc", i, 0)
+        program = b.build()
+        program.cfg.validate()
+        assert isinstance(program.structure, SeqNode)
+        loop_nodes = [
+            node for node in program.structure.children if isinstance(node, LoopNode)
+        ]
+        assert len(loop_nodes) == 1
+        assert loop_nodes[0].bound == 5
+
+    def test_nested_loops(self):
+        b = ProgramBuilder("p")
+        with b.loop(3):
+            with b.loop(4):
+                b.const("x", 1)
+        program = b.build()
+        program.cfg.validate()
+        outer = next(
+            node for node in program.structure.children if isinstance(node, LoopNode)
+        )
+        assert outer.bound == 3
+        inner = [
+            node
+            for node in (
+                outer.body_tree.children
+                if isinstance(outer.body_tree, SeqNode)
+                else [outer.body_tree]
+            )
+            if isinstance(node, LoopNode)
+        ]
+        assert inner and inner[0].bound == 4
+
+    def test_custom_counter_name(self):
+        b = ProgramBuilder("p")
+        with b.loop(2, counter="k") as counter:
+            assert counter == "k"
+        b.build()
+
+    def test_negative_bound_rejected(self):
+        b = ProgramBuilder("p")
+        with pytest.raises(BuilderError, match="bound"):
+            with b.loop(-1):
+                pass
+
+    def test_zero_bound_allowed(self):
+        b = ProgramBuilder("p")
+        with b.loop(0):
+            b.const("never", 1)
+        program = b.build()
+        program.cfg.validate()
+
+
+class TestIfElse:
+    def test_if_else_structure(self):
+        b = ProgramBuilder("p")
+        b.const("c", 1)
+        with b.if_else("c") as arms:
+            with arms.then_case():
+                b.const("x", 1)
+            with arms.else_case():
+                b.const("x", 2)
+        program = b.build()
+        program.cfg.validate()
+        node = next(
+            n for n in program.structure.children if isinstance(n, IfElseNode)
+        )
+        assert node.else_tree is not None
+
+    def test_if_without_else(self):
+        b = ProgramBuilder("p")
+        b.const("c", 0)
+        with b.if_else("c") as arms:
+            with arms.then_case():
+                b.const("x", 1)
+        program = b.build()
+        program.cfg.validate()
+        node = next(
+            n for n in program.structure.children if isinstance(n, IfElseNode)
+        )
+        assert node.else_tree is None
+        # Branch else target must go straight to the join block.
+        entry = program.cfg.block("p.entry")
+        assert entry.terminator.else_target == node.join_label
+
+    def test_then_case_required(self):
+        b = ProgramBuilder("p")
+        b.const("c", 1)
+        with pytest.raises(BuilderError, match="then_case"):
+            with b.if_else("c"):
+                pass
+
+    def test_else_before_then_rejected(self):
+        b = ProgramBuilder("p")
+        b.const("c", 1)
+        with pytest.raises(BuilderError, match="before then_case"):
+            with b.if_else("c") as arms:
+                with arms.else_case():
+                    pass
+
+    def test_then_twice_rejected(self):
+        b = ProgramBuilder("p")
+        b.const("c", 1)
+        with pytest.raises(BuilderError, match="twice"):
+            with b.if_else("c") as arms:
+                with arms.then_case():
+                    pass
+                with arms.then_case():
+                    pass
+
+    def test_branch_inside_loop(self):
+        b = ProgramBuilder("p")
+        with b.loop(4) as i:
+            b.binop("c", "lt", i, 2)
+            with b.if_else("c") as arms:
+                with arms.then_case():
+                    b.const("x", 1)
+                with arms.else_case():
+                    b.const("x", 2)
+        program = b.build()
+        program.cfg.validate()
+
+
+class TestCodeGenerated:
+    def test_loop_executes_bound_times(self):
+        """Behavioural check via the VM: the loop body runs exactly N times."""
+        from repro.cache import CacheConfig, CacheState
+        from repro.program import SystemLayout
+        from repro.vm import run_isolated
+
+        b = ProgramBuilder("p")
+        out = b.array("out", words=1)
+        b.const("acc", 0)
+        with b.loop(7):
+            b.add("acc", "acc", 1)
+        b.store("acc", out, index=0)
+        program = b.build()
+        layout = SystemLayout().place(program)
+        machine = run_isolated(layout, CacheState(CacheConfig.scaled_4k()))
+        assert machine.read_array("out") == [7]
+
+    def test_if_else_takes_correct_arm(self):
+        from repro.cache import CacheConfig, CacheState
+        from repro.program import SystemLayout
+        from repro.vm import run_isolated
+
+        for flag, expected in ((1, 10), (0, 20)):
+            b = ProgramBuilder("p")
+            out = b.array("out", words=1)
+            flag_arr = b.scalar("flag")
+            b.load("f", flag_arr, index=0)
+            with b.if_else("f") as arms:
+                with arms.then_case():
+                    b.const("r", 10)
+                with arms.else_case():
+                    b.const("r", 20)
+            b.store("r", out, index=0)
+            program = b.build()
+            layout = SystemLayout().place(program)
+            machine = run_isolated(
+                layout,
+                CacheState(CacheConfig.scaled_4k()),
+                inputs={"flag": [flag]},
+            )
+            assert machine.read_array("out") == [expected]

@@ -1,0 +1,146 @@
+"""Unit tests for the control-flow graph representation."""
+
+import pytest
+
+from repro.program import (
+    BasicBlock,
+    Branch,
+    CFGError,
+    Const,
+    ControlFlowGraph,
+    Halt,
+    Jump,
+)
+
+
+def diamond_cfg():
+    """entry -> (left | right) -> join -> halt."""
+    cfg = ControlFlowGraph(name="diamond", entry="entry")
+    cfg.add_block(
+        BasicBlock("entry", [Const("c", 1)], Branch("c", "left", "right"))
+    )
+    cfg.add_block(BasicBlock("left", [], Jump("join")))
+    cfg.add_block(BasicBlock("right", [], Jump("join")))
+    cfg.add_block(BasicBlock("join", [], Halt()))
+    return cfg
+
+
+def loop_cfg():
+    """entry -> head <-> body; head -> exit."""
+    cfg = ControlFlowGraph(name="loop", entry="entry")
+    cfg.add_block(BasicBlock("entry", [Const("i", 0)], Jump("head")))
+    cfg.add_block(BasicBlock("head", [], Branch("i", "body", "exit")))
+    cfg.add_block(BasicBlock("body", [], Jump("head")))
+    cfg.add_block(BasicBlock("exit", [], Halt()))
+    return cfg
+
+
+class TestStructure:
+    def test_successors(self):
+        cfg = diamond_cfg()
+        assert cfg.successors("entry") == ("left", "right")
+        assert cfg.successors("left") == ("join",)
+        assert cfg.successors("join") == ()
+
+    def test_predecessors(self):
+        cfg = diamond_cfg()
+        assert set(cfg.predecessors("join")) == {"left", "right"}
+        assert cfg.predecessors("entry") == ()
+
+    def test_predecessor_map_matches_predecessors(self):
+        cfg = diamond_cfg()
+        pmap = cfg.predecessor_map()
+        for label in cfg.labels():
+            assert set(pmap[label]) == set(cfg.predecessors(label))
+
+    def test_exit_labels(self):
+        assert diamond_cfg().exit_labels() == ("join",)
+
+    def test_duplicate_label_rejected(self):
+        cfg = ControlFlowGraph(name="x", entry="a")
+        cfg.add_block(BasicBlock("a", [], Halt()))
+        with pytest.raises(CFGError, match="duplicate"):
+            cfg.add_block(BasicBlock("a", [], Halt()))
+
+    def test_unknown_block_lookup(self):
+        with pytest.raises(CFGError, match="no block"):
+            diamond_cfg().block("nope")
+
+    def test_size_instructions_counts_terminator(self):
+        block = BasicBlock("b", [Const("x", 1), Const("y", 2)], Halt())
+        assert block.size_instructions == 3
+
+    def test_total_instructions(self):
+        assert diamond_cfg().total_instructions == 2 + 1 + 1 + 1
+
+
+class TestValidation:
+    def test_valid_graphs_pass(self):
+        diamond_cfg().validate()
+        loop_cfg().validate()
+
+    def test_missing_entry(self):
+        cfg = ControlFlowGraph(name="x", entry="missing")
+        cfg.add_block(BasicBlock("a", [], Halt()))
+        with pytest.raises(CFGError, match="entry"):
+            cfg.validate()
+
+    def test_missing_terminator(self):
+        cfg = ControlFlowGraph(name="x", entry="a")
+        cfg.add_block(BasicBlock("a", []))
+        with pytest.raises(CFGError, match="no terminator"):
+            cfg.validate()
+
+    def test_dangling_target(self):
+        cfg = ControlFlowGraph(name="x", entry="a")
+        cfg.add_block(BasicBlock("a", [], Jump("ghost")))
+        with pytest.raises(CFGError, match="unknown block"):
+            cfg.validate()
+
+    def test_unreachable_block(self):
+        cfg = ControlFlowGraph(name="x", entry="a")
+        cfg.add_block(BasicBlock("a", [], Halt()))
+        cfg.add_block(BasicBlock("island", [], Halt()))
+        with pytest.raises(CFGError, match="unreachable"):
+            cfg.validate()
+
+    def test_no_halt(self):
+        cfg = ControlFlowGraph(name="x", entry="a")
+        cfg.add_block(BasicBlock("a", [], Jump("b")))
+        cfg.add_block(BasicBlock("b", [], Jump("a")))
+        with pytest.raises(CFGError, match="no Halt"):
+            cfg.validate()
+
+
+class TestTraversal:
+    def test_reachable_from(self):
+        cfg = diamond_cfg()
+        assert cfg.reachable_from("entry") == {"entry", "left", "right", "join"}
+        assert cfg.reachable_from("left") == {"left", "join"}
+
+    def test_back_edges_on_loop(self):
+        assert loop_cfg().back_edges() == {("body", "head")}
+
+    def test_back_edges_on_dag(self):
+        assert diamond_cfg().back_edges() == set()
+
+    def test_is_acyclic(self):
+        assert diamond_cfg().is_acyclic()
+        assert not loop_cfg().is_acyclic()
+
+    def test_topological_order_diamond(self):
+        order = diamond_cfg().topological_order()
+        assert order.index("entry") < order.index("left")
+        assert order.index("entry") < order.index("right")
+        assert order.index("left") < order.index("join")
+        assert order.index("right") < order.index("join")
+
+    def test_topological_order_rejects_cycles(self):
+        with pytest.raises(CFGError, match="cycles"):
+            loop_cfg().topological_order()
+
+    def test_str_rendering(self):
+        text = str(diamond_cfg())
+        assert "cfg diamond" in text
+        assert "entry:" in text
+        assert "halt" in text

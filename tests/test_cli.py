@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_analyze_args(self):
+        args = build_parser().parse_args(["analyze", "ed", "--penalty", "30"])
+        assert args.workload == "ed"
+        assert args.penalty == 30
+
+    def test_simulate_args(self):
+        args = build_parser().parse_args(
+            ["simulate", "--experiment", "2", "--horizon", "100000"]
+        )
+        assert args.experiment == "2"
+        assert args.horizon == 100000
+
+    def test_tables_filter(self):
+        args = build_parser().parse_args(["tables", "--only", "table2", "--no-art"])
+        assert args.only == ["table2"]
+        assert args.no_art
+
+
+class TestCommands:
+    def test_workloads_lists_all_six(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ofdm", "ed", "mr", "adpcmc", "adpcmd", "idct"):
+            assert name in out
+
+    def test_analyze_ed(self, capsys):
+        assert main(["analyze", "ed"]) == 0
+        out = capsys.readouterr().out
+        assert "[wcet]" in out
+        assert "SFP-PrS" in out
+        assert "sobel" in out and "cauchy" in out
+
+    def test_analyze_reuse_flag(self, capsys):
+        assert main(["analyze", "mr", "--reuse"]) == 0
+        out = capsys.readouterr().out
+        assert "[cache behaviour]" in out
+
+    def test_analyze_unknown_workload(self):
+        with pytest.raises(KeyError):
+            main(["analyze", "quake"])
+
+    def test_crpd_experiment1(self, capsys):
+        assert main(["crpd", "--experiment", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "OFDM by MR" in out
+        assert "App. 4" in out
+
+    def test_simulate_short_horizon(self, capsys):
+        assert main(
+            ["simulate", "--experiment", "1", "--horizon", "160000",
+             "--events", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ART" in out
+        assert "release" in out

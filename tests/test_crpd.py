@@ -1,0 +1,118 @@
+"""Unit tests for the unified CRPD analyzer (the four approaches, Eq. 5)."""
+
+import pytest
+
+from repro.analysis import ALL_APPROACHES, Approach, CRPDAnalyzer
+
+
+class TestAnalyzer:
+    def test_requires_tasks(self):
+        with pytest.raises(ValueError, match="no tasks"):
+            CRPDAnalyzer({})
+
+    def test_requires_uniform_cache(self, analyzed_pair):
+        from repro.analysis import analyze_task
+        from repro.cache import CacheConfig
+        from repro.program import ProgramBuilder, SystemLayout
+
+        other_config = CacheConfig(num_sets=8, ways=2, line_size=16)
+        b = ProgramBuilder("odd")
+        data = b.array("data", words=4)
+        b.load("v", data, index=0)
+        layout = SystemLayout(base_address=0x90000).place(b.build())
+        odd = analyze_task(layout, {"d": {"data": [0] * 4}}, other_config)
+        with pytest.raises(ValueError, match="cache configuration"):
+            CRPDAnalyzer({"low": analyzed_pair["low"], "odd": odd})
+
+    def test_unknown_task_rejected(self, analyzed_pair):
+        crpd = CRPDAnalyzer(
+            {"low": analyzed_pair["low"], "high": analyzed_pair["high"]}
+        )
+        with pytest.raises(KeyError, match="ghost"):
+            crpd.lines_reloaded("ghost", "high", Approach.BUSQUETS)
+
+    def test_ordering_invariants(self, analyzed_pair):
+        """App4 <= App2 <= App1 and App4 <= App3 (Sections V-VI)."""
+        crpd = CRPDAnalyzer(
+            {"low": analyzed_pair["low"], "high": analyzed_pair["high"]}
+        )
+        lines = {
+            a: crpd.lines_reloaded("low", "high", a) for a in ALL_APPROACHES
+        }
+        assert lines[Approach.COMBINED] <= lines[Approach.INTERTASK]
+        assert lines[Approach.INTERTASK] <= lines[Approach.BUSQUETS]
+        assert lines[Approach.COMBINED] <= lines[Approach.LEE]
+
+    def test_cpre_is_lines_times_penalty(self, analyzed_pair):
+        """Equation 5."""
+        crpd = CRPDAnalyzer(
+            {"low": analyzed_pair["low"], "high": analyzed_pair["high"]}
+        )
+        lines = crpd.lines_reloaded("low", "high", Approach.COMBINED)
+        penalty = analyzed_pair["config"].miss_penalty
+        assert crpd.cpre("low", "high", Approach.COMBINED) == lines * penalty
+        assert crpd.cpre("low", "high", Approach.COMBINED, miss_penalty=7) == (
+            lines * 7
+        )
+
+    def test_estimates_cached(self, analyzed_pair):
+        crpd = CRPDAnalyzer(
+            {"low": analyzed_pair["low"], "high": analyzed_pair["high"]}
+        )
+        first = crpd.lines_reloaded("low", "high", Approach.COMBINED)
+        assert crpd.lines_reloaded("low", "high", Approach.COMBINED) == first
+        assert ("low", "high", Approach.COMBINED) in crpd._lines_cache
+
+    def test_estimate_pair_covers_all_approaches(self, analyzed_pair):
+        crpd = CRPDAnalyzer(
+            {"low": analyzed_pair["low"], "high": analyzed_pair["high"]}
+        )
+        estimate = crpd.estimate_pair("low", "high")
+        assert set(estimate.lines) == set(ALL_APPROACHES)
+        assert "low by high" in estimate.describe()
+
+    def test_estimate_all_pairs_priority_structure(self, analyzed_pair):
+        crpd = CRPDAnalyzer(
+            {"low": analyzed_pair["low"], "high": analyzed_pair["high"]}
+        )
+        estimates = crpd.estimate_all_pairs(["high", "low"])
+        assert len(estimates) == 1
+        assert estimates[0].preempted == "low"
+        assert estimates[0].preempting == "high"
+
+    def test_lee_ignores_preempting_task(self, analyzed_pair):
+        """Approach 3 depends only on the preempted task (Section VIII)."""
+        crpd = CRPDAnalyzer(
+            {"low": analyzed_pair["low"], "high": analyzed_pair["high"]}
+        )
+        a = crpd.lines_reloaded("low", "high", Approach.LEE)
+        b = crpd.lines_reloaded("low", "low", Approach.LEE)
+        assert a == b
+
+    def test_per_point_mode_propagates(self, analyzed_pair):
+        paper = CRPDAnalyzer(
+            {"low": analyzed_pair["low"], "high": analyzed_pair["high"]},
+            mumbs_mode="paper",
+        )
+        sound = CRPDAnalyzer(
+            {"low": analyzed_pair["low"], "high": analyzed_pair["high"]},
+            mumbs_mode="per_point",
+        )
+        # The sound joint maximisation dominates Definition 4's value.
+        assert sound.lines_reloaded(
+            "low", "high", Approach.COMBINED
+        ) >= paper.lines_reloaded("low", "high", Approach.COMBINED)
+
+    def test_default_mode_is_sound_per_point(self, analyzed_pair):
+        crpd = CRPDAnalyzer(
+            {"low": analyzed_pair["low"], "high": analyzed_pair["high"]}
+        )
+        assert crpd.mumbs_mode == "per_point"
+
+    def test_plain_int_approach_accepted(self, analyzed_pair):
+        crpd = CRPDAnalyzer(
+            {"low": analyzed_pair["low"], "high": analyzed_pair["high"]}
+        )
+        assert crpd.lines_reloaded("low", "high", 4) == crpd.lines_reloaded(
+            "low", "high", Approach.COMBINED
+        )

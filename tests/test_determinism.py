@@ -1,0 +1,107 @@
+"""Bit-for-bit determinism of every pipeline stage.
+
+DESIGN.md commits to full reproducibility: no wall-clock, no unseeded
+randomness, no ordering dependent on hash randomisation.  These tests
+build everything twice and require identical results.
+"""
+
+from repro.analysis import Approach, CRPDAnalyzer, analyze_task
+from repro.cache import CacheConfig
+from repro.program import SystemLayout, enumerate_path_profiles
+from repro.workloads import build_workload, workload_names
+
+
+def analyze_all(seed_config):
+    config = seed_config
+    layout = SystemLayout(stride=0x1C00)
+    artifacts = {}
+    for name in ("mr", "ed"):
+        workload = build_workload(name)
+        placed = layout.place(workload.program)
+        artifacts[name] = analyze_task(placed, workload.scenario_map(), config)
+    return artifacts
+
+
+class TestWorkloadDeterminism:
+    def test_programs_identical_across_builds(self):
+        for name in workload_names():
+            first = build_workload(name)
+            second = build_workload(name)
+            assert first.program.cfg.labels() == second.program.cfg.labels()
+            for label in first.program.cfg.labels():
+                a = first.program.cfg.block(label)
+                b = second.program.cfg.block(label)
+                assert [str(i) for i in a.instructions] == [
+                    str(i) for i in b.instructions
+                ]
+                assert str(a.terminator) == str(b.terminator)
+
+    def test_scenarios_identical_across_builds(self):
+        for name in workload_names():
+            first = build_workload(name)
+            second = build_workload(name)
+            assert first.scenario_map() == second.scenario_map()
+
+    def test_path_profiles_identical(self):
+        for name in workload_names():
+            first = enumerate_path_profiles(build_workload(name).program)
+            second = enumerate_path_profiles(build_workload(name).program)
+            assert [(p.counts, p.choices) for p in first] == [
+                (p.counts, p.choices) for p in second
+            ]
+
+
+class TestAnalysisDeterminism:
+    def test_artifacts_identical(self):
+        config = CacheConfig.scaled_8k()
+        first = analyze_all(config)
+        second = analyze_all(config)
+        for name in first:
+            assert first[name].wcet.cycles == second[name].wcet.cycles
+            assert first[name].footprint == second[name].footprint
+            assert first[name].useful.mumbs() == second[name].useful.mumbs()
+            assert (
+                first[name].useful.lee_reload_bound()
+                == second[name].useful.lee_reload_bound()
+            )
+
+    def test_crpd_estimates_identical(self):
+        config = CacheConfig.scaled_8k()
+        results = []
+        for _ in range(2):
+            artifacts = analyze_all(config)
+            crpd = CRPDAnalyzer(artifacts)
+            results.append(
+                {
+                    approach: crpd.lines_reloaded("ed", "mr", approach)
+                    for approach in Approach
+                }
+            )
+        assert results[0] == results[1]
+
+    def test_rmb_lmb_solution_identical(self):
+        config = CacheConfig.scaled_8k()
+        first = analyze_all(config)["ed"].dataflow
+        second = analyze_all(config)["ed"].dataflow
+        assert first.entry_rmb == second.entry_rmb
+        assert first.exit_lmb == second.exit_lmb
+
+
+class TestSimulationDeterminism:
+    def test_experiment_simulation_identical(self, experiment1_context):
+        """Two fresh simulators over the same context agree event-for-event."""
+        from repro.cache import CacheState
+        from repro.sched import Simulator
+
+        runs = []
+        for _ in range(2):
+            simulator = Simulator(
+                experiment1_context.bindings(),
+                cache=CacheState(experiment1_context.config),
+                context_switch_cycles=1049,
+            )
+            result = simulator.run(200_000)
+            runs.append(
+                [(e.time, e.kind, e.task, e.job) for e in result.events]
+            )
+        assert runs[0] == runs[1]

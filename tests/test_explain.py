@@ -1,0 +1,99 @@
+"""Tests for the WCRT decomposition (explain_wcrt)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.wcrt import TaskSpec, TaskSystem, explain_wcrt
+
+
+def system():
+    return TaskSystem(
+        tasks=[
+            TaskSpec(name="high", wcet=10, period=50, priority=1),
+            TaskSpec(name="mid", wcet=15, period=120, priority=2),
+            TaskSpec(name="low", wcet=20, period=600, priority=3),
+        ]
+    )
+
+
+class TestExplain:
+    def test_parts_sum_to_wcrt(self):
+        explanation = explain_wcrt(
+            system(), "low", cpre=lambda l, h: 5, context_switch=3
+        )
+        assert explanation.result.converged
+        assert explanation.consistent()
+
+    def test_highest_priority_has_no_shares(self):
+        explanation = explain_wcrt(system(), "high")
+        assert explanation.shares == []
+        assert explanation.wcrt == 10
+        assert explanation.consistent()
+
+    def test_share_contents(self):
+        explanation = explain_wcrt(
+            system(), "low", cpre=lambda l, h: 5, context_switch=3
+        )
+        by_name = {share.name: share for share in explanation.shares}
+        assert set(by_name) == {"high", "mid"}
+        high = by_name["high"]
+        assert high.execution == high.preemptions * 10
+        assert high.cache_reload == high.preemptions * 5
+        assert high.context_switches == high.preemptions * 6
+        assert high.total == high.execution + high.cache_reload + high.context_switches
+
+    def test_totals(self):
+        explanation = explain_wcrt(
+            system(), "low", cpre=lambda l, h: 5, context_switch=3
+        )
+        assert explanation.total_cache_reload == sum(
+            share.cache_reload for share in explanation.shares
+        )
+        assert explanation.total_context_switches > 0
+
+    def test_jitter_shown(self):
+        jittered = TaskSystem(
+            tasks=[
+                TaskSpec(name="high", wcet=10, period=50, priority=1),
+                TaskSpec(name="low", wcet=20, period=600, priority=2, jitter=7),
+            ]
+        )
+        explanation = explain_wcrt(jittered, "low")
+        assert explanation.own_jitter == 7
+        assert explanation.consistent()
+
+    def test_render(self):
+        text = explain_wcrt(
+            system(), "low", cpre=lambda l, h: 5, context_switch=3
+        ).render()
+        assert "WCRT of 'low'" in text
+        assert "preemption(s)" in text
+        assert "reload" in text
+
+    def test_experiment_decomposition(self, experiment1_context):
+        """On the real Experiment I system the decomposition is exact and
+        the CRPD share is nonzero."""
+        from repro.analysis import Approach
+
+        context = experiment1_context
+        explanation = explain_wcrt(
+            context.system,
+            "ofdm",
+            cpre=lambda l, h: context.crpd.cpre(l, h, Approach.COMBINED),
+            context_switch=context.spec.context_switch_cycles,
+        )
+        assert explanation.consistent()
+        assert explanation.total_cache_reload > 0
+        assert explanation.total_context_switches > 0
+
+
+@given(
+    cpre_cost=st.integers(min_value=0, max_value=30),
+    ccs=st.integers(min_value=0, max_value=10),
+)
+@settings(max_examples=40)
+def test_decomposition_always_consistent_when_converged(cpre_cost, ccs):
+    explanation = explain_wcrt(
+        system(), "low", cpre=lambda l, h: cpre_cost, context_switch=ccs
+    )
+    if explanation.result.converged:
+        assert explanation.consistent()

@@ -1,0 +1,82 @@
+"""Tests for the FIR workload (the docs/extending.md worked example)."""
+
+import pytest
+
+from repro.cache import CacheConfig, CacheState
+from repro.program import SystemLayout, enumerate_path_profiles
+from repro.vm import Machine
+from repro.workloads import build_fir, fir_coefficients, reference_fir
+
+
+def run_scenario(workload, scenario_name):
+    layout = SystemLayout().place(workload.program)
+    machine = Machine(layout=layout, cache=CacheState(CacheConfig.scaled_8k()))
+    for name, values in workload.scenario(scenario_name).inputs.items():
+        machine.write_array(name, values)
+    machine.run()
+    return machine
+
+
+class TestCoefficients:
+    def test_symmetric(self):
+        for taps in (4, 5, 16):
+            coefficients = fir_coefficients(taps)
+            assert len(coefficients) == taps
+            assert coefficients == coefficients[::-1]
+
+    def test_q12_unity_gain_roughly(self):
+        assert abs(sum(fir_coefficients(16)) - 4096) <= 16
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("scenario", ["audio", "noise"])
+    def test_matches_reference(self, scenario):
+        workload = build_fir(taps=8, samples=40)
+        machine = run_scenario(workload, scenario)
+        inputs = workload.scenario(scenario).inputs
+        expected = reference_fir(inputs["x"], inputs["h"])
+        assert machine.read_array("y") == expected
+
+    def test_dc_signal_passes_through(self):
+        """Unity-gain filter on a constant input returns (almost) the
+        constant."""
+        workload = build_fir(taps=8, samples=24)
+        layout = SystemLayout().place(workload.program)
+        machine = Machine(layout=layout,
+                          cache=CacheState(CacheConfig.scaled_4k()))
+        machine.write_array("x", [1000] * 24)
+        machine.write_array("h", fir_coefficients(8))
+        machine.run()
+        for value in machine.read_array("y"):
+            assert abs(value - 1000) <= 4  # Q12 rounding
+
+    def test_single_feasible_path(self):
+        assert len(enumerate_path_profiles(build_fir().program)) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            build_fir(taps=1)
+        with pytest.raises(ValueError):
+            build_fir(taps=16, samples=16)
+
+
+class TestAsTask:
+    def test_full_analysis(self):
+        """The extending.md recipe end-to-end: analyse and bound FIR as a
+        preempted task under the MR preemptor."""
+        from repro.analysis import ALL_APPROACHES, Approach, CRPDAnalyzer, analyze_task
+        from repro.workloads import build_mobile_robot
+
+        config = CacheConfig.scaled_8k()
+        layout = SystemLayout(stride=0x1C00)
+        fir = build_fir()
+        mr = build_mobile_robot()
+        fir_layout = layout.place(fir.program)
+        mr_layout = layout.place(mr.program)
+        fir_art = analyze_task(fir_layout, fir.scenario_map(), config)
+        mr_art = analyze_task(mr_layout, mr.scenario_map(), config)
+        crpd = CRPDAnalyzer({"fir": fir_art, "mr": mr_art})
+        lines = {a: crpd.lines_reloaded("fir", "mr", a) for a in ALL_APPROACHES}
+        assert lines[Approach.COMBINED] <= lines[Approach.INTERTASK]
+        assert lines[Approach.COMBINED] <= lines[Approach.LEE]
+        assert lines[Approach.INTERTASK] <= lines[Approach.BUSQUETS]

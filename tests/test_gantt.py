@@ -1,0 +1,91 @@
+"""Tests for the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.sched.events import EventKind, SchedulerEvent
+from repro.sched.gantt import (
+    GLYPH_RELEASE,
+    GLYPH_RUN,
+    GLYPH_SWITCH,
+    render_gantt,
+)
+
+
+def events_simple():
+    E = SchedulerEvent
+    return [
+        E(0, EventKind.RELEASE, "a", 0),
+        E(0, EventKind.RELEASE, "b", 0),
+        E(0, EventKind.START, "a", 0),
+        E(50, EventKind.COMPLETE, "a", 0),
+        E(50, EventKind.CONTEXT_SWITCH, "b", 0),
+        E(60, EventKind.START, "b", 0),
+        E(100, EventKind.PREEMPT, "b", 0),
+        E(100, EventKind.RELEASE, "a", 1),
+        E(100, EventKind.START, "a", 1),
+        E(120, EventKind.COMPLETE, "a", 1),
+        E(120, EventKind.RESUME, "b", 0),
+        E(160, EventKind.COMPLETE, "b", 0),
+    ]
+
+
+class TestRenderGantt:
+    def test_one_row_per_task(self):
+        text = render_gantt(events_simple(), ["a", "b"], until=160, width=80)
+        lines = text.splitlines()
+        assert len(lines) == 3  # header + 2 task rows
+        assert lines[1].lstrip().startswith("a |")
+        assert lines[2].lstrip().startswith("b |")
+
+    def test_execution_glyphs_present(self):
+        text = render_gantt(events_simple(), ["a", "b"], until=160, width=80)
+        a_row = text.splitlines()[1]
+        b_row = text.splitlines()[2]
+        assert GLYPH_RUN in a_row
+        assert GLYPH_RUN in b_row
+        assert GLYPH_SWITCH in b_row  # the context switch before b started
+
+    def test_preempted_task_has_gap(self):
+        """b's row shows two separate run segments around a's second job."""
+        text = render_gantt(events_simple(), ["a", "b"], until=160, width=160)
+        b_cells = text.splitlines()[2].split("|")[1]
+        runs = [
+            segment for segment in "".join(
+                c if c == GLYPH_RUN else " " for c in b_cells
+            ).split() if segment
+        ]
+        assert len(runs) >= 2
+
+    def test_release_markers(self):
+        # Make releases land where nothing executes so the marker survives.
+        E = SchedulerEvent
+        events = [
+            E(0, EventKind.RELEASE, "a", 0),
+            E(40, EventKind.START, "a", 0),
+            E(80, EventKind.COMPLETE, "a", 0),
+        ]
+        text = render_gantt(events, ["a"], until=160, width=160)
+        assert GLYPH_RELEASE in text or "·" in text
+
+    def test_row_width_bounded(self):
+        text = render_gantt(events_simple(), ["a", "b"], until=160, width=40)
+        for line in text.splitlines()[1:]:
+            cells = line.split("|")[1]
+            assert len(cells) <= 41
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            render_gantt([], ["a"], until=0)
+        with pytest.raises(ValueError):
+            render_gantt([], ["a"], until=100, width=0)
+
+    def test_real_simulation_renders(self, experiment1_context):
+        result = experiment1_context.simulate()
+        text = render_gantt(
+            result.events,
+            list(experiment1_context.priority_order),
+            until=150_000,
+        )
+        assert GLYPH_RUN in text
+        for task in experiment1_context.priority_order:
+            assert task in text

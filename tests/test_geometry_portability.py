@@ -1,0 +1,89 @@
+"""The analysis invariants hold across cache geometries.
+
+The experiments use the scaled 8KB 2-way cache; these tests re-run
+Experiment I's analysis on the paper's real 32KB 4-way geometry, a
+direct-mapped cache, and a tiny cache, checking that every structural
+claim is geometry-independent (the estimates change, the orderings
+don't).
+"""
+
+import pytest
+
+from repro.analysis import ALL_APPROACHES, Approach
+from repro.cache import CacheConfig
+from repro.experiments import EXPERIMENT_I_SPEC, build_context
+
+GEOMETRIES = {
+    "paper_32k_4way": CacheConfig.arm9_32k(),
+    "direct_mapped_4k": CacheConfig(
+        num_sets=256, ways=1, line_size=16, miss_penalty=20
+    ),
+    "tiny_1k_2way": CacheConfig(num_sets=32, ways=2, line_size=16, miss_penalty=20),
+    "wide_lines_8k": CacheConfig(num_sets=128, ways=2, line_size=32, miss_penalty=20),
+}
+
+
+@pytest.fixture(scope="module", params=list(GEOMETRIES))
+def context(request):
+    return build_context(EXPERIMENT_I_SPEC, cache=GEOMETRIES[request.param])
+
+
+class TestGeometryPortability:
+    def test_orderings_hold(self, context):
+        for estimate in context.crpd.estimate_all_pairs(
+            list(context.priority_order)
+        ):
+            lines = estimate.lines
+            assert lines[Approach.COMBINED] <= lines[Approach.INTERTASK]
+            assert lines[Approach.COMBINED] <= lines[Approach.LEE]
+            assert lines[Approach.INTERTASK] <= lines[Approach.BUSQUETS]
+
+    def test_bounds_capped_by_cache_lines(self, context):
+        total_lines = context.config.total_lines
+        for estimate in context.crpd.estimate_all_pairs(
+            list(context.priority_order)
+        ):
+            for approach in ALL_APPROACHES:
+                assert 0 <= estimate.lines[approach] <= total_lines
+
+    def test_wcets_positive_and_paths_preserved(self, context):
+        for name, artifacts in context.artifacts.items():
+            assert artifacts.wcet.cycles > 0
+            expected_paths = 2 if name == "ed" else 1
+            assert len(artifacts.path_profiles) == expected_paths
+
+    def test_footprint_scales_with_line_size(self, context):
+        """Larger lines -> fewer blocks; block count x line size covers
+        at least the touched bytes."""
+        for artifacts in context.artifacts.values():
+            byte_span = len(artifacts.footprint) * context.config.line_size
+            assert byte_span >= context.config.line_size  # non-empty
+
+
+class TestGeometryRelations:
+    def test_lee_bound_monotone_in_ways_at_fixed_sets(self):
+        """With sets fixed, more ways never lowers... actually never
+        *raises* the per-set cap's bite: the Lee bound is monotone
+        non-decreasing in L (the cap relaxes)."""
+        bounds = []
+        for ways in (1, 2, 4):
+            cache = CacheConfig(
+                num_sets=256, ways=ways, line_size=16, miss_penalty=20
+            )
+            context = build_context(EXPERIMENT_I_SPEC, cache=cache)
+            bounds.append(
+                context.crpd.lines_reloaded("ofdm", "mr", Approach.LEE)
+            )
+        assert bounds == sorted(bounds)
+
+    def test_direct_mapped_conflict_bound_definition(self):
+        """Direct mapped (L=1): Equation 2 degenerates to counting shared
+        sets."""
+        cache = CacheConfig(num_sets=256, ways=1, line_size=16, miss_penalty=20)
+        context = build_context(EXPERIMENT_I_SPEC, cache=cache)
+        ed = context.artifacts["ed"].footprint_ciip
+        mr = context.artifacts["mr"].footprint_ciip
+        shared_sets = len(ed.indices() & mr.indices())
+        assert context.crpd.lines_reloaded(
+            "ed", "mr", Approach.INTERTASK
+        ) == shared_sets

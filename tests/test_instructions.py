@@ -1,0 +1,145 @@
+"""Unit tests for the IR instruction set and its evaluation semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.program import BinOp, Branch, Const, Halt, Jump, Load, Mov, Store, UnOp
+from repro.program.instructions import (
+    BASE_CYCLES,
+    INSTRUCTION_SIZE,
+    evaluate_binop,
+    evaluate_unop,
+)
+
+
+class TestValidation:
+    def test_const_requires_register_dst(self):
+        with pytest.raises(TypeError):
+            Const(123, 5)  # type: ignore[arg-type]
+
+    def test_empty_register_name_rejected(self):
+        with pytest.raises((TypeError, ValueError)):
+            Mov("", "src")
+
+    def test_binop_unknown_op(self):
+        with pytest.raises(ValueError, match="unknown binary op"):
+            BinOp("d", "pow", "a", "b")
+
+    def test_unop_unknown_op(self):
+        with pytest.raises(ValueError, match="unknown unary op"):
+            UnOp("d", "sqrt", "a")
+
+    def test_load_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            Load("d", "arr", index="i", scale=0)
+
+    def test_store_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            Store("s", "arr", index="i", scale=-4)
+
+    def test_operands_may_be_immediates(self):
+        BinOp("d", "add", 1, 2)
+        Mov("d", 42)
+        Branch(0, "a", "b")
+
+    def test_instruction_size_constant(self):
+        assert INSTRUCTION_SIZE == 4
+
+
+class TestCosts:
+    def test_alu_cost(self):
+        assert BinOp("d", "add", "a", "b").base_cycles == BASE_CYCLES["alu"]
+
+    def test_mul_costs_more_than_add(self):
+        assert BinOp("d", "mul", "a", "b").base_cycles > BinOp(
+            "d", "add", "a", "b"
+        ).base_cycles
+
+    def test_div_costs_more_than_mul(self):
+        assert BinOp("d", "div", "a", "b").base_cycles > BinOp(
+            "d", "mul", "a", "b"
+        ).base_cycles
+
+    def test_memory_ops_cost(self):
+        assert Load("d", "arr").base_cycles == BASE_CYCLES["load"]
+        assert Store("s", "arr").base_cycles == BASE_CYCLES["store"]
+
+    def test_terminator_costs(self):
+        assert Jump("t").base_cycles == BASE_CYCLES["jump"]
+        assert Branch("c", "a", "b").base_cycles == BASE_CYCLES["branch"]
+        assert Halt().base_cycles == BASE_CYCLES["halt"]
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize(
+        "op,lhs,rhs,expected",
+        [
+            ("add", 3, 4, 7),
+            ("sub", 3, 4, -1),
+            ("mul", -3, 4, -12),
+            ("div", 7, 2, 3),
+            ("div", -7, 2, -4),  # floor semantics
+            ("mod", 7, 3, 1),
+            ("mod", -7, 3, 2),  # Python mod semantics
+            ("and", 0b1100, 0b1010, 0b1000),
+            ("or", 0b1100, 0b1010, 0b1110),
+            ("xor", 0b1100, 0b1010, 0b0110),
+            ("shl", 1, 4, 16),
+            ("shr", 16, 4, 1),
+            ("min", 3, -5, -5),
+            ("max", 3, -5, 3),
+            ("lt", 1, 2, 1),
+            ("le", 2, 2, 1),
+            ("gt", 1, 2, 0),
+            ("ge", 2, 2, 1),
+            ("eq", 5, 5, 1),
+            ("ne", 5, 5, 0),
+        ],
+    )
+    def test_binop_semantics(self, op, lhs, rhs, expected):
+        assert evaluate_binop(op, lhs, rhs) == expected
+
+    @pytest.mark.parametrize(
+        "op,src,expected",
+        [
+            ("neg", 5, -5),
+            ("neg", -5, 5),
+            ("abs", -7, 7),
+            ("abs", 7, 7),
+            ("not", 0, -1),
+            ("bool", 0, 0),
+            ("bool", -3, 1),
+        ],
+    )
+    def test_unop_semantics(self, op, src, expected):
+        assert evaluate_unop(op, src) == expected
+
+    def test_unknown_ops_raise(self):
+        with pytest.raises(ValueError):
+            evaluate_binop("nope", 1, 2)
+        with pytest.raises(ValueError):
+            evaluate_unop("nope", 1)
+
+
+@given(lhs=st.integers(), rhs=st.integers())
+def test_comparisons_return_0_or_1(lhs, rhs):
+    for op in ("lt", "le", "gt", "ge", "eq", "ne"):
+        assert evaluate_binop(op, lhs, rhs) in (0, 1)
+
+
+@given(lhs=st.integers(), rhs=st.integers(min_value=1, max_value=10**6))
+def test_divmod_identity(lhs, rhs):
+    q = evaluate_binop("div", lhs, rhs)
+    r = evaluate_binop("mod", lhs, rhs)
+    assert q * rhs + r == lhs
+    assert 0 <= r < rhs
+
+
+class TestStringification:
+    def test_instruction_str_forms(self):
+        assert str(Const("r1", 5)) == "r1 = 5"
+        assert str(BinOp("d", "add", "a", 1)) == "d = a add 1"
+        assert "arr" in str(Load("d", "arr", index="i"))
+        assert str(Jump("blk")) == "jump blk"
+        assert str(Halt()) == "halt"
+        assert "?" in str(Branch("c", "a", "b"))

@@ -1,0 +1,143 @@
+"""Unit tests for program and system memory layout."""
+
+import pytest
+
+from repro.program import (
+    INSTRUCTION_SIZE,
+    LayoutError,
+    ProgramBuilder,
+    ProgramLayout,
+    SystemLayout,
+)
+
+
+def small_program(name="p", words=8):
+    b = ProgramBuilder(name)
+    arr = b.array("a", words=words)
+    arr2 = b.array("b", words=words)
+    b.load("x", arr, index=0)
+    b.store("x", arr2, index=0)
+    return b.build()
+
+
+class TestProgramLayout:
+    def test_code_addresses_sequential(self):
+        program = small_program()
+        layout = ProgramLayout(program=program, code_base=0x1000, data_base=0x2000)
+        addresses = layout.code_addresses()
+        assert addresses[0] == 0x1000
+        assert all(
+            b - a == INSTRUCTION_SIZE for a, b in zip(addresses, addresses[1:])
+        )
+        assert len(addresses) == program.cfg.total_instructions
+
+    def test_instruction_address_includes_terminator(self):
+        program = small_program()
+        layout = ProgramLayout(program=program, code_base=0, data_base=0x1000)
+        entry = program.cfg.block(program.cfg.entry)
+        term_addr = layout.instruction_address(
+            program.cfg.entry, len(entry.instructions)
+        )
+        assert term_addr == len(entry.instructions) * INSTRUCTION_SIZE
+
+    def test_instruction_address_out_of_range(self):
+        program = small_program()
+        layout = ProgramLayout(program=program, code_base=0, data_base=0x1000)
+        with pytest.raises(LayoutError, match="out of range"):
+            layout.instruction_address(program.cfg.entry, 999)
+
+    def test_symbol_addresses_aligned(self):
+        program = small_program()
+        layout = ProgramLayout(
+            program=program, code_base=0, data_base=0x1001, data_alignment=16
+        )
+        assert layout.symbol_base("a") % 16 == 0
+        assert layout.symbol_base("b") % 16 == 0
+        assert layout.symbol_base("b") >= layout.symbol_base("a") + 8 * 4
+
+    def test_element_address(self):
+        program = small_program()
+        layout = ProgramLayout(program=program, code_base=0, data_base=0x1000)
+        assert layout.element_address("a", 3) == layout.symbol_base("a") + 12
+
+    def test_element_out_of_range(self):
+        program = small_program()
+        layout = ProgramLayout(program=program, code_base=0, data_base=0x1000)
+        with pytest.raises(LayoutError, match="out of range"):
+            layout.element_address("a", 8)
+
+    def test_unknown_symbol(self):
+        program = small_program()
+        layout = ProgramLayout(program=program, code_base=0, data_base=0x1000)
+        with pytest.raises(LayoutError, match="no symbol"):
+            layout.symbol_base("ghost")
+
+    def test_unknown_block(self):
+        program = small_program()
+        layout = ProgramLayout(program=program, code_base=0, data_base=0x1000)
+        with pytest.raises(LayoutError, match="no block"):
+            layout.block_start("ghost")
+
+    def test_negative_base_rejected(self):
+        program = small_program()
+        with pytest.raises(LayoutError, match="non-negative"):
+            ProgramLayout(program=program, code_base=-4, data_base=0x1000)
+
+    def test_overlapping_code_and_data_rejected(self):
+        program = small_program()
+        with pytest.raises(LayoutError, match="overlap"):
+            ProgramLayout(program=program, code_base=0, data_base=8)
+
+    def test_data_addresses_cover_all_elements(self):
+        program = small_program(words=5)
+        layout = ProgramLayout(program=program, code_base=0, data_base=0x1000)
+        addresses = layout.data_addresses()
+        assert len(addresses) == 10  # two arrays of 5 words
+        assert layout.element_address("a", 0) in addresses
+        assert layout.element_address("b", 4) in addresses
+
+
+class TestSystemLayout:
+    def test_sequential_placement_disjoint(self):
+        system = SystemLayout()
+        l1 = system.place(small_program("p1"))
+        l2 = system.place(small_program("p2"))
+        assert l2.code_base >= max(l1.code_end, l1.data_end)
+
+    def test_duplicate_program_rejected(self):
+        system = SystemLayout()
+        system.place(small_program("p1"))
+        with pytest.raises(LayoutError, match="already placed"):
+            system.place(small_program("p1"))
+
+    def test_layout_of(self):
+        system = SystemLayout()
+        placed = system.place(small_program("p1"))
+        assert system.layout_of("p1") is placed
+        with pytest.raises(LayoutError, match="not placed"):
+            system.layout_of("ghost")
+
+    def test_stride_positions(self):
+        system = SystemLayout(base_address=0x10000, stride=0x2000)
+        l1 = system.place(small_program("p1"))
+        l2 = system.place(small_program("p2"))
+        assert l1.code_base == 0x10000
+        assert l2.code_base == 0x12000
+
+    def test_stride_too_small_rejected(self):
+        system = SystemLayout(stride=0x40)  # smaller than any program
+        system.place(small_program("p1"))
+        with pytest.raises(LayoutError, match="stride"):
+            system.place(small_program("p2"))
+
+    def test_all_regions_physically_disjoint(self):
+        """No byte belongs to two tasks, sequential or strided."""
+        for system in (SystemLayout(), SystemLayout(stride=0x2000)):
+            layouts = [system.place(small_program(f"p{i}")) for i in range(3)]
+            regions = []
+            for layout in layouts:
+                regions.append((layout.code_base, layout.code_end))
+                regions.append((layout.data_base, layout.data_end))
+            regions.sort()
+            for (s1, e1), (s2, e2) in zip(regions, regions[1:]):
+                assert e1 <= s2, f"overlap: [{s1:#x},{e1:#x}) vs [{s2:#x},{e2:#x})"

@@ -1,0 +1,120 @@
+"""Tests for task release offsets (phased task sets)."""
+
+import pytest
+
+from repro.cache import CacheConfig, CacheState
+from repro.program import ProgramBuilder, SystemLayout
+from repro.sched import EventKind, Simulator, TaskBinding
+from repro.wcrt import TaskSpec
+
+
+def make_binding(layout, name, words, reps, spec, offset=0):
+    b = ProgramBuilder(name)
+    data = b.array("data", words=words)
+    with b.loop(reps):
+        with b.loop(words) as i:
+            b.load("v", data, index=i)
+    placed = layout.place(b.build())
+    return TaskBinding(spec=spec, layout=placed,
+                       inputs={"data": list(range(words))}, offset=offset)
+
+
+@pytest.fixture
+def config():
+    return CacheConfig(num_sets=16, ways=2, line_size=16, miss_penalty=10)
+
+
+class TestOffsets:
+    def test_negative_offset_rejected(self, config):
+        layout = SystemLayout()
+        spec = TaskSpec(name="t", wcet=100, period=1000, priority=1)
+        with pytest.raises(ValueError, match="offset"):
+            make_binding(layout, "t", 4, 1, spec, offset=-1)
+
+    def test_releases_phased_by_offset(self, config):
+        layout = SystemLayout()
+        spec = TaskSpec(name="t", wcet=500, period=10_000, priority=1)
+        binding = make_binding(layout, "t", 8, 4, spec, offset=3_000)
+        sim = Simulator([binding], cache=CacheState(config))
+        result = sim.run(horizon=33_000)
+        releases = [
+            e.time for e in result.events if e.kind is EventKind.RELEASE
+        ]
+        assert releases == [3_000, 13_000, 23_000]
+
+    def test_zero_offset_unchanged(self, config):
+        layout = SystemLayout()
+        spec = TaskSpec(name="t", wcet=500, period=10_000, priority=1)
+        binding = make_binding(layout, "t", 8, 4, spec)
+        sim = Simulator([binding], cache=CacheState(config))
+        result = sim.run(horizon=25_000)
+        releases = [
+            e.time for e in result.events if e.kind is EventKind.RELEASE
+        ]
+        assert releases == [0, 10_000, 20_000]
+
+    def test_phasing_can_avoid_preemption(self, config):
+        """A phase offset that separates the tasks in time removes the
+        preemptions the critical instant provokes."""
+        def build(offset):
+            layout = SystemLayout()
+            high = TaskSpec(name="high", wcet=1_200, period=10_000, priority=1)
+            low = TaskSpec(name="low", wcet=4_000, period=20_000, priority=2)
+            bindings = [
+                make_binding(layout, "high", 8, 12, high, offset=offset),
+                make_binding(layout, "low", 16, 20, low),
+            ]
+            return Simulator(bindings, cache=CacheState(config))
+
+        critical = build(0).run(horizon=60_000)
+        phased = build(6_000).run(horizon=60_000)
+        assert phased.preemption_count("low") <= critical.preemption_count("low")
+        assert phased.actual_response_time("low") <= critical.actual_response_time(
+            "low"
+        )
+
+    def test_crpd_wcrt_bounds_every_phasing(self, config):
+        """With caches, the synchronous release is NOT the worst case: a
+        mid-execution preemption adds reload misses that an up-front one
+        avoids (the very effect the paper models — plain critical-instant
+        reasoning on context-free WCETs misses it).  The right invariant
+        is that the Eq.7 WCRT with CRPD bounds the measured response for
+        *every* phasing."""
+        from repro.analysis import Approach, CRPDAnalyzer, analyze_task
+        from repro.wcrt import TaskSystem, compute_system_wcrt
+
+        high = TaskSpec(name="high", wcet=2_000, period=7_000, priority=1)
+        low = TaskSpec(name="low", wcet=6_000, period=35_000, priority=2)
+
+        def build(offset):
+            layout = SystemLayout()
+            bindings = [
+                make_binding(layout, "high", 8, 12, high, offset=offset),
+                make_binding(layout, "low", 16, 26, low),
+            ]
+            return layout, bindings
+
+        # Analyse once (placement identical across offsets).
+        layout, bindings = build(0)
+        artifacts = {
+            binding.spec.name: analyze_task(
+                binding.layout, {"d": binding.inputs}, config
+            )
+            for binding in bindings
+        }
+        crpd = CRPDAnalyzer(artifacts)
+        system = TaskSystem(tasks=[high, low])
+        bound = compute_system_wcrt(
+            system,
+            cpre=lambda l, h: crpd.cpre(l, h, Approach.COMBINED),
+        ).wcrt("low")
+
+        arts = []
+        for offset in (0, 500, 1_500, 3_000, 5_000):
+            _, offset_bindings = build(offset)
+            sim = Simulator(offset_bindings, cache=CacheState(config))
+            arts.append(sim.run(horizon=140_000).actual_response_time("low"))
+        assert all(art <= bound for art in arts), (arts, bound)
+        # Document the phenomenon: some phased ART exceeds the synchronous
+        # one (otherwise this test degenerates).
+        assert max(arts[1:]) >= arts[0]

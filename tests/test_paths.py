@@ -1,0 +1,208 @@
+"""Unit tests for feasible-path enumeration and SFP-PrS segmentation."""
+
+import pytest
+
+from repro.program import (
+    PathExplosionError,
+    ProgramBuilder,
+    enumerate_path_profiles,
+    path_footprint,
+    sfp_prs_segments,
+)
+
+
+def build_if(name="p"):
+    b = ProgramBuilder(name)
+    b.const("c", 1)
+    with b.if_else("c") as arms:
+        with arms.then_case():
+            b.const("x", 1)
+        with arms.else_case():
+            b.const("x", 2)
+    return b.build()
+
+
+class TestEnumeration:
+    def test_straight_line_single_path(self):
+        b = ProgramBuilder("p")
+        b.const("x", 1)
+        profiles = enumerate_path_profiles(b.build())
+        assert len(profiles) == 1
+        assert profiles[0].exact
+        assert profiles[0].counts == {"p.entry": 1}
+
+    def test_if_else_two_paths(self):
+        profiles = enumerate_path_profiles(build_if())
+        assert len(profiles) == 2
+        choices = {p.choices[0].split("@")[0] for p in profiles}
+        assert choices == {"then", "else"}
+
+    def test_if_without_else_still_two_paths(self):
+        b = ProgramBuilder("p")
+        b.const("c", 0)
+        with b.if_else("c") as arms:
+            with arms.then_case():
+                b.const("x", 1)
+        profiles = enumerate_path_profiles(b.build())
+        assert len(profiles) == 2
+
+    def test_sequential_branches_multiply(self):
+        b = ProgramBuilder("p")
+        for round_index in range(3):
+            b.const("c", round_index)
+            with b.if_else("c") as arms:
+                with arms.then_case():
+                    b.const("x", 1)
+                with arms.else_case():
+                    b.const("x", 2)
+        profiles = enumerate_path_profiles(b.build())
+        assert len(profiles) == 8
+        assert all(len(p.choices) == 3 for p in profiles)
+
+    def test_loop_counts(self):
+        b = ProgramBuilder("p")
+        with b.loop(5):
+            b.const("x", 1)
+        profiles = enumerate_path_profiles(b.build())
+        assert len(profiles) == 1
+        profile = profiles[0]
+        assert profile.exact
+        header = next(l for l in profile.counts if "loophead" in l)
+        body = next(l for l in profile.counts if "loopbody" in l)
+        assert profile.counts[header] == 6  # bound + 1 tests
+        assert profile.counts[body] == 5
+
+    def test_nested_loop_counts_multiply(self):
+        b = ProgramBuilder("p")
+        with b.loop(3):
+            with b.loop(4):
+                b.const("x", 1)
+        profile = enumerate_path_profiles(b.build())[0]
+        inner_body = [
+            l for l, c in profile.counts.items() if "loopbody" in l and c == 12
+        ]
+        assert inner_body, profile.counts
+
+    def test_zero_bound_loop(self):
+        b = ProgramBuilder("p")
+        with b.loop(0):
+            b.const("x", 1)
+        profile = enumerate_path_profiles(b.build())[0]
+        body = [l for l in profile.counts if "loopbody" in l]
+        assert not body or all(profile.counts[l] == 0 for l in body)
+
+    def test_branch_inside_loop_is_inexact(self):
+        """A decision inside a loop breaks the SFP-PrS property."""
+        b = ProgramBuilder("p")
+        with b.loop(4) as i:
+            b.binop("c", "lt", i, 2)
+            with b.if_else("c") as arms:
+                with arms.then_case():
+                    b.const("x", 1)
+                with arms.else_case():
+                    b.const("x", 2)
+        profiles = enumerate_path_profiles(b.build())
+        assert len(profiles) == 1  # merged conservatively
+        assert not profiles[0].exact
+        # Both arms appear in the merged footprint.
+        then_blocks = [l for l in profiles[0].counts if ".then" in l]
+        else_blocks = [l for l in profiles[0].counts if ".else" in l]
+        assert then_blocks and else_blocks
+
+    def test_path_explosion_guard(self):
+        b = ProgramBuilder("p")
+        for round_index in range(8):
+            b.const("c", round_index)
+            with b.if_else("c") as arms:
+                with arms.then_case():
+                    b.const("x", 1)
+                with arms.else_case():
+                    b.const("x", 2)
+        with pytest.raises(PathExplosionError):
+            enumerate_path_profiles(b.build(), limit=100)
+
+    def test_describe(self):
+        profiles = enumerate_path_profiles(build_if())
+        assert all("@" in p.describe() for p in profiles)
+        b = ProgramBuilder("p")
+        b.const("x", 1)
+        assert enumerate_path_profiles(b.build())[0].describe() == "<single-path>"
+
+    def test_total_executions(self):
+        b = ProgramBuilder("p")
+        with b.loop(3):
+            b.const("x", 1)
+        profile = enumerate_path_profiles(b.build())[0]
+        # entry(1) + header(4) + body(3) + exit(1)
+        assert profile.total_executions() == 9
+
+
+class TestFootprints:
+    def test_path_footprint_unions_blocks(self):
+        profiles = enumerate_path_profiles(build_if())
+        per_node = {
+            "p.entry": {0x100},
+            "p.then1": {0x200},
+            "p.else2": {0x300},
+            "p.join3": {0x400},
+        }
+        footprints = {p.choices[0].split("@")[0]: path_footprint(p, per_node) for p in profiles}
+        assert 0x200 in footprints["then"] and 0x300 not in footprints["then"]
+        assert 0x300 in footprints["else"] and 0x200 not in footprints["else"]
+        for fp in footprints.values():
+            assert {0x100, 0x400} <= fp
+
+    def test_missing_nodes_contribute_nothing(self):
+        profiles = enumerate_path_profiles(build_if())
+        assert path_footprint(profiles[0], {}) == frozenset()
+
+
+class TestSegments:
+    def test_straight_program_single_segment(self):
+        b = ProgramBuilder("p")
+        b.const("x", 1)
+        segments = sfp_prs_segments(b.build())
+        assert len(segments) == 1
+        assert segments[0].single_feasible_path
+
+    def test_loop_is_sfp_segment(self):
+        b = ProgramBuilder("p")
+        with b.loop(4):
+            b.const("x", 1)
+        segments = sfp_prs_segments(b.build())
+        kinds = [s.kind for s in segments]
+        assert "loop" in kinds
+        loop_seg = next(s for s in segments if s.kind == "loop")
+        assert loop_seg.single_feasible_path
+
+    def test_decision_segment_not_sfp(self):
+        segments = sfp_prs_segments(build_if())
+        decision = next(s for s in segments if s.kind == "decision")
+        assert not decision.single_feasible_path
+
+    def test_loop_with_branch_not_sfp(self):
+        b = ProgramBuilder("p")
+        with b.loop(4) as i:
+            b.binop("c", "lt", i, 2)
+            with b.if_else("c") as arms:
+                with arms.then_case():
+                    b.const("x", 1)
+        segments = sfp_prs_segments(b.build())
+        loop_seg = next(s for s in segments if s.kind == "loop")
+        assert not loop_seg.single_feasible_path
+
+    def test_segment_ids_sequential(self):
+        segments = sfp_prs_segments(build_if())
+        assert [s.segment_id for s in segments] == list(
+            range(1, len(segments) + 1)
+        )
+
+    def test_ed_example5_two_operator_paths(self):
+        """The paper's Example 5: ED has exactly two feasible paths."""
+        from repro.workloads import build_edge_detection
+
+        program = build_edge_detection().program
+        profiles = enumerate_path_profiles(program)
+        assert len(profiles) == 2
+        segments = sfp_prs_segments(program)
+        assert any(s.kind == "decision" for s in segments)

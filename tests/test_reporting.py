@@ -1,0 +1,86 @@
+"""Tests for the table rendering and CSV export."""
+
+import pytest
+
+from repro.experiments.reporting import Table, percent_improvement
+
+
+@pytest.fixture
+def table():
+    t = Table(title="T", headers=["name", "count", "ratio"])
+    t.add_row("alpha", 3, 0.5)
+    t.add_row("beta, gamma", 12, 1.25)
+    t.notes.append("a note")
+    return t
+
+
+class TestRender:
+    def test_render_structure(self, table):
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1] == "=" * len("T")
+        assert "name" in lines[2]
+        assert "alpha" in text
+        assert "note: a note" in text
+
+    def test_floats_one_decimal(self, table):
+        assert "1.2" in table.render()  # 1.25 -> 1.2 by format
+
+    def test_bool_rendering(self):
+        t = Table(title="b", headers=["ok"])
+        t.add_row(True)
+        t.add_row(False)
+        assert "yes" in t.render() and "no" in t.render()
+
+    def test_wrong_arity_rejected(self, table):
+        with pytest.raises(ValueError, match="columns"):
+            table.add_row("only-one")
+
+    def test_column_access(self, table):
+        assert table.column("count") == [3, 12]
+        with pytest.raises(KeyError):
+            table.column("missing")
+
+
+class TestCSV:
+    def test_csv_structure(self, table):
+        csv = table.to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "name,count,ratio"
+        assert lines[1] == "alpha,3,0.5"
+
+    def test_csv_escaping(self, table):
+        csv = table.to_csv()
+        assert '"beta, gamma"' in csv
+
+    def test_csv_quote_doubling(self):
+        t = Table(title="q", headers=["v"])
+        t.add_row('say "hi"')
+        assert '"say ""hi"""' in t.to_csv()
+
+    def test_notes_not_in_csv(self, table):
+        assert "a note" not in table.to_csv()
+
+    def test_cli_csv_export(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["tables", "--only", "table1", "--no-art",
+             "--csv", str(tmp_path / "csv")]
+        )
+        assert code == 0
+        files = list((tmp_path / "csv").glob("*.csv"))
+        assert len(files) == 1
+        content = files[0].read_text()
+        assert content.startswith("Experiment,Task,")
+
+
+class TestPercentImprovement:
+    def test_basic(self):
+        assert percent_improvement(100, 60) == pytest.approx(40.0)
+        assert percent_improvement(100, 100) == 0.0
+        assert percent_improvement(0, 50) == 0.0
+
+    def test_negative_when_worse(self):
+        assert percent_improvement(100, 120) == pytest.approx(-20.0)

@@ -1,0 +1,170 @@
+"""Tests for the schedulability sensitivity analysis."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import Approach
+from repro.analysis.sensitivity import (
+    PenaltyModel,
+    breakdown_miss_penalty,
+    critical_scaling_factor,
+)
+from repro.wcrt import TaskSpec, TaskSystem, compute_system_wcrt, zero_cpre
+
+
+def light_system():
+    return TaskSystem(
+        tasks=[
+            TaskSpec(name="high", wcet=10, period=100, priority=1),
+            TaskSpec(name="low", wcet=20, period=400, priority=2),
+        ]
+    )
+
+
+class TestCriticalScaling:
+    def test_light_system_has_headroom(self):
+        factor = critical_scaling_factor(light_system(), zero_cpre)
+        assert factor > 1.5
+
+    def test_scaled_system_actually_schedulable_at_factor(self):
+        system = light_system()
+        factor = critical_scaling_factor(system, zero_cpre)
+        scaled = TaskSystem(
+            tasks=[
+                TaskSpec(
+                    name=t.name,
+                    wcet=max(1, int(t.wcet * factor * 0.99)),
+                    period=t.period,
+                    priority=t.priority,
+                )
+                for t in system.tasks
+            ]
+        )
+        assert compute_system_wcrt(scaled).schedulable
+
+    def test_unschedulable_returns_zero_or_tiny(self):
+        system = TaskSystem(
+            tasks=[
+                TaskSpec(name="hog", wcet=90, period=100, priority=1),
+                TaskSpec(name="victim", wcet=50, period=200, priority=2),
+            ]
+        )
+        factor = critical_scaling_factor(system, zero_cpre)
+        assert factor < 1.0
+
+    def test_crpd_reduces_headroom(self):
+        without = critical_scaling_factor(light_system(), zero_cpre)
+        with_crpd = critical_scaling_factor(
+            light_system(), lambda low, high: 30, context_switch=5
+        )
+        assert with_crpd < without
+
+    def test_upper_cap(self):
+        tiny = TaskSystem(
+            tasks=[TaskSpec(name="t", wcet=1, period=10**6, priority=1)]
+        )
+        assert critical_scaling_factor(tiny, zero_cpre, upper=4.0) == 4.0
+
+    @given(cpre_cost=st.integers(min_value=0, max_value=40))
+    @settings(max_examples=30)
+    def test_monotone_in_cpre(self, cpre_cost):
+        base = critical_scaling_factor(light_system(), zero_cpre)
+        worse = critical_scaling_factor(
+            light_system(), lambda l, h: cpre_cost
+        )
+        assert worse <= base + 1e-6
+
+
+class TestPenaltyModel:
+    def test_calibration_roundtrip(self):
+        model = PenaltyModel.calibrate(
+            wcets_low={"t": 1000}, wcets_high={"t": 1400},
+            penalty_low=10, penalty_high=30,
+        )
+        assert model.misses["t"] == 20
+        assert model.base["t"] == 800
+        assert model.wcet("t", 0) == 800
+        assert model.wcet("t", 40) == 1600
+
+    def test_nonlinear_rejected(self):
+        with pytest.raises(ValueError, match="not linear"):
+            PenaltyModel.calibrate(
+                wcets_low={"t": 1000}, wcets_high={"t": 1401},
+                penalty_low=10, penalty_high=30,
+            )
+
+    def test_equal_penalties_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            PenaltyModel.calibrate({"t": 1}, {"t": 1}, 10, 10)
+
+    def test_model_matches_vm_exactly(self, experiment1_context):
+        """The VM's WCET really is base + misses*penalty: predict Cmiss=40
+        from measurements at 20 and 30, then verify by re-measurement."""
+        from repro.experiments import EXPERIMENT_I_SPEC, build_context
+
+        ctx20 = experiment1_context
+        ctx30 = build_context(EXPERIMENT_I_SPEC, miss_penalty=30)
+        model = PenaltyModel.calibrate(
+            {n: a.wcet.cycles for n, a in ctx20.artifacts.items()},
+            {n: a.wcet.cycles for n, a in ctx30.artifacts.items()},
+            20, 30,
+        )
+        ctx40 = build_context(EXPERIMENT_I_SPEC, miss_penalty=40)
+        for name, artifacts in ctx40.artifacts.items():
+            assert model.wcet(name, 40) == artifacts.wcet.cycles
+
+
+class TestBreakdownPenalty:
+    def test_tighter_approach_higher_breakdown(self, experiment1_context):
+        from repro.experiments import EXPERIMENT_I_SPEC, build_context
+
+        ctx = experiment1_context
+        ctx40 = build_context(EXPERIMENT_I_SPEC, miss_penalty=40)
+        model = PenaltyModel.calibrate(
+            {n: a.wcet.cycles for n, a in ctx.artifacts.items()},
+            {n: a.wcet.cycles for n, a in ctx40.artifacts.items()},
+            20, 40,
+        )
+        breakdowns = {}
+        for approach in (Approach.BUSQUETS, Approach.LEE, Approach.COMBINED):
+            breakdowns[approach] = breakdown_miss_penalty(
+                ctx.system, ctx.crpd, model, approach, context_switch=1049
+            )
+        assert breakdowns[Approach.COMBINED] is not None
+        assert breakdowns[Approach.COMBINED] >= breakdowns[Approach.BUSQUETS]
+        assert breakdowns[Approach.COMBINED] >= breakdowns[Approach.LEE]
+        # The combined analysis buys real headroom on this task set.
+        assert breakdowns[Approach.COMBINED] > breakdowns[Approach.BUSQUETS]
+
+    def test_schedulable_at_breakdown_not_above(self, experiment1_context):
+        from repro.experiments import EXPERIMENT_I_SPEC, build_context
+        from repro.wcrt import TaskSpec, TaskSystem
+
+        ctx = experiment1_context
+        ctx40 = build_context(EXPERIMENT_I_SPEC, miss_penalty=40)
+        model = PenaltyModel.calibrate(
+            {n: a.wcet.cycles for n, a in ctx.artifacts.items()},
+            {n: a.wcet.cycles for n, a in ctx40.artifacts.items()},
+            20, 40,
+        )
+        approach = Approach.COMBINED
+        breakdown = breakdown_miss_penalty(
+            ctx.system, ctx.crpd, model, approach, context_switch=1049
+        )
+        assert breakdown is not None
+
+        def verdict(penalty):
+            tasks = [
+                TaskSpec(name=t.name, wcet=model.wcet(t.name, penalty),
+                         period=t.period, priority=t.priority)
+                for t in ctx.system.tasks
+            ]
+            return compute_system_wcrt(
+                TaskSystem(tasks=tasks),
+                cpre=lambda l, h: ctx.crpd.cpre(l, h, approach,
+                                                miss_penalty=penalty),
+                context_switch=1049,
+            ).schedulable
+
+        assert verdict(breakdown)
+        assert not verdict(breakdown + 1)

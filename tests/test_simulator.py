@@ -1,0 +1,193 @@
+"""Unit tests for the preemptive fixed-priority scheduler simulator."""
+
+import pytest
+
+from repro.cache import CacheConfig, CacheState
+from repro.program import ProgramBuilder, SystemLayout
+from repro.sched import EventKind, Simulator, TaskBinding
+from repro.wcrt import TaskSpec
+
+
+def make_binding(system_layout, name, words, reps, spec):
+    b = ProgramBuilder(name)
+    data = b.array("data", words=words)
+    out = b.array("out", words=words)
+    with b.loop(reps):
+        with b.loop(words) as i:
+            b.load("v", data, index=i)
+            b.store("v", out, index=i)
+    layout = system_layout.place(b.build())
+    return TaskBinding(spec=spec, layout=layout, inputs={"data": list(range(words))})
+
+
+@pytest.fixture
+def config():
+    return CacheConfig(num_sets=16, ways=2, line_size=16, miss_penalty=10)
+
+
+def build_simulator(config, specs, ccs=0):
+    layout = SystemLayout()
+    bindings = [
+        make_binding(layout, spec.name, words, reps, spec)
+        for spec, words, reps in specs
+    ]
+    return Simulator(bindings, cache=CacheState(config), context_switch_cycles=ccs)
+
+
+class TestSingleTask:
+    def test_jobs_released_every_period(self, config):
+        spec = TaskSpec(name="solo", wcet=5000, period=10_000, priority=1)
+        sim = build_simulator(config, [(spec, 8, 2)])
+        result = sim.run(horizon=50_000)
+        assert len(result.jobs) == 5
+        releases = [j.release_time for j in result.jobs]
+        assert releases == [0, 10_000, 20_000, 30_000, 40_000]
+
+    def test_response_time_positive_and_consistent(self, config):
+        spec = TaskSpec(name="solo", wcet=5000, period=10_000, priority=1)
+        sim = build_simulator(config, [(spec, 8, 2)])
+        result = sim.run(horizon=30_000)
+        for job in result.jobs:
+            assert job.response_time > 0
+            assert job.completion_time > job.release_time
+        # Steady-state responses are cheaper than the cold first job.
+        responses = result.response_times("solo")
+        assert responses[0] >= responses[-1]
+
+    def test_no_preemption_single_task(self, config):
+        spec = TaskSpec(name="solo", wcet=5000, period=10_000, priority=1)
+        sim = build_simulator(config, [(spec, 8, 2)])
+        result = sim.run(horizon=30_000)
+        assert result.preemption_count("solo") == 0
+        assert not any(e.kind is EventKind.PREEMPT for e in result.events)
+
+    def test_idle_gaps_recorded(self, config):
+        spec = TaskSpec(name="solo", wcet=5000, period=20_000, priority=1)
+        sim = build_simulator(config, [(spec, 4, 1)])
+        result = sim.run(horizon=60_000)
+        assert any(e.kind is EventKind.IDLE for e in result.events)
+
+
+class TestPreemption:
+    def make_two_tasks(self, config, ccs=0, high_period=4_000, low_reps=125):
+        # reps sized so real runtimes roughly match the declared WCETs
+        # (~10 cycles per streamed element on this cache).
+        high = TaskSpec(name="high", wcet=1_000, period=high_period, priority=1)
+        low = TaskSpec(name="low", wcet=20_000, period=100_000, priority=2)
+        return build_simulator(config, [(high, 4, 25), (low, 16, low_reps)], ccs=ccs)
+
+    def test_high_priority_preempts_low(self, config):
+        sim = self.make_two_tasks(config)
+        result = sim.run(horizon=100_000)
+        assert result.preemption_count("low") > 0
+        assert result.preemption_count("high") == 0
+
+    def test_preempted_job_resumes_and_completes(self, config):
+        sim = self.make_two_tasks(config)
+        result = sim.run(horizon=100_000)
+        low_jobs = [j for j in result.jobs if j.task == "low"]
+        assert low_jobs, "low job must complete despite preemptions"
+        resumes = [e for e in result.events if e.kind is EventKind.RESUME]
+        assert resumes
+
+    def test_preemption_extends_low_response(self, config):
+        alone_spec = TaskSpec(name="low", wcet=20_000, period=100_000, priority=2)
+        alone = build_simulator(config, [(alone_spec, 16, 125)])
+        base = alone.run(horizon=100_000).actual_response_time("low")
+        contended = self.make_two_tasks(config).run(horizon=100_000)
+        assert contended.actual_response_time("low") > base
+
+    def test_context_switch_cost_extends_response(self, config):
+        fast = self.make_two_tasks(config, ccs=0).run(horizon=100_000)
+        slow = self.make_two_tasks(config, ccs=500).run(horizon=100_000)
+        assert slow.actual_response_time("low") > fast.actual_response_time("low")
+        switch_events = [
+            e for e in slow.events if e.kind is EventKind.CONTEXT_SWITCH
+        ]
+        assert switch_events
+
+    def test_two_switches_per_preemption_at_most(self, config):
+        """Context switches <= 2 * preemptions + job-boundary switches."""
+        sim = self.make_two_tasks(config, ccs=100)
+        result = sim.run(horizon=100_000)
+        switches = sum(
+            1 for e in result.events if e.kind is EventKind.CONTEXT_SWITCH
+        )
+        preemptions = sum(j.preemptions for j in result.jobs)
+        job_count = len(result.jobs)
+        assert switches <= 2 * preemptions + job_count
+
+    def test_deadline_miss_detected(self, config):
+        high = TaskSpec(name="high", wcet=9_000, period=10_000, priority=1)
+        low = TaskSpec(name="low", wcet=9_000, period=20_000, priority=2)
+        sim = build_simulator(config, [(high, 16, 56), (low, 16, 56)])
+        result = sim.run(horizon=60_000)
+        assert result.deadline_misses()
+        assert any(e.kind is EventKind.DEADLINE_MISS for e in result.events)
+
+
+class TestCacheInterference:
+    def test_shared_cache_slower_than_isolated(self, config):
+        """The very effect the paper models: preemptions force reloads."""
+        high = TaskSpec(name="high", wcet=2_000, period=6_000, priority=1)
+        low = TaskSpec(name="low", wcet=20_000, period=200_000, priority=2)
+        contended = build_simulator(config, [(high, 32, 6), (low, 32, 62)])
+        result = contended.run(horizon=200_000)
+        low_warm_responses = result.response_times("low")
+        # Isolated run of the same program for comparison.
+        alone = build_simulator(config, [(low, 32, 62)])
+        base = alone.run(horizon=200_000).response_times("low")
+        interference = low_warm_responses[0] - base[0]
+        high_exec = 2_000  # rough high-task demand within low's response
+        assert interference > high_exec, (
+            "interference must exceed pure computation time: reload misses"
+        )
+
+    def test_determinism(self, config):
+        high = TaskSpec(name="high", wcet=1_000, period=5_000, priority=1)
+        low = TaskSpec(name="low", wcet=10_000, period=50_000, priority=2)
+        results = []
+        for _ in range(2):
+            sim = build_simulator(config, [(high, 8, 12), (low, 16, 62)], ccs=50)
+            result = sim.run(horizon=100_000)
+            results.append(
+                [(j.task, j.release_time, j.completion_time) for j in result.jobs]
+            )
+        assert results[0] == results[1]
+
+
+class TestValidation:
+    def test_empty_bindings_rejected(self, config):
+        with pytest.raises(ValueError, match="no tasks"):
+            Simulator([], cache=CacheState(config))
+
+    def test_duplicate_names_rejected(self, config):
+        layout = SystemLayout()
+        spec1 = TaskSpec(name="t", wcet=100, period=1000, priority=1)
+        spec2 = TaskSpec(name="t", wcet=100, period=2000, priority=2)
+        b1 = make_binding(layout, "t", 4, 1, spec1)
+        b2 = TaskBinding(spec=spec2, layout=b1.layout, inputs={})
+        with pytest.raises(ValueError, match="duplicate"):
+            Simulator([b1, b2], cache=CacheState(config))
+
+    def test_negative_ccs_rejected(self, config):
+        layout = SystemLayout()
+        spec = TaskSpec(name="t", wcet=100, period=1000, priority=1)
+        binding = make_binding(layout, "t", 4, 1, spec)
+        with pytest.raises(ValueError, match="context_switch"):
+            Simulator([binding], cache=CacheState(config), context_switch_cycles=-1)
+
+    def test_nonpositive_horizon_rejected(self, config):
+        layout = SystemLayout()
+        spec = TaskSpec(name="t", wcet=100, period=1000, priority=1)
+        binding = make_binding(layout, "t", 4, 1, spec)
+        sim = Simulator([binding], cache=CacheState(config))
+        with pytest.raises(ValueError, match="horizon"):
+            sim.run(horizon=0)
+
+    def test_art_for_unknown_task_raises(self, config):
+        spec = TaskSpec(name="solo", wcet=5000, period=10_000, priority=1)
+        sim = build_simulator(config, [(spec, 8, 2)])
+        result = sim.run(horizon=20_000)
+        with pytest.raises(ValueError, match="completed no jobs"):
+            result.actual_response_time("ghost")

@@ -1,0 +1,243 @@
+"""Property-based soundness: random programs vs the analysis chain.
+
+Hypothesis generates small structured programs (loops, branches, data-
+dependent indexing); for each random (preempted, preempting) pair we
+verify the paper's claims empirically:
+
+* measured reloads after a real preemption never exceed any approach's
+  line bound (Approaches 1-4 are all sound),
+* the approach ordering App4 <= min(App2, App3) <= App1 holds,
+* cold-cache WCET measurement dominates any warm-cache run.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import ALL_APPROACHES, Approach, CRPDAnalyzer, analyze_task
+from repro.cache import CacheConfig, CacheState
+from repro.program import ProgramBuilder, SystemLayout
+from repro.vm import Machine
+
+
+@st.composite
+def random_programs(draw, name):
+    """A small structured program over 1-3 arrays with loops and a branch."""
+    b = ProgramBuilder(name)
+    array_count = draw(st.integers(min_value=1, max_value=3))
+    arrays = [
+        b.array(f"arr{i}", words=draw(st.sampled_from([8, 16, 24, 32])))
+        for i in range(array_count)
+    ]
+    flag = b.scalar("flag")
+    b.load("f", flag, index=0)
+
+    def emit_loop():
+        array = draw(st.sampled_from(arrays))
+        reps = draw(st.integers(min_value=1, max_value=3))
+        stride = draw(st.sampled_from([1, 2]))
+        with b.loop(reps):
+            with b.loop(array.words // stride) as i:
+                b.mul("idx", i, stride)
+                b.load("v", array, index="idx")
+                b.binop("v", "add", "v", 1)
+                if draw(st.booleans()):
+                    b.store("v", array, index="idx")
+
+    emit_loop()
+    if draw(st.booleans()):
+        with b.if_else("f") as arms:
+            with arms.then_case():
+                emit_loop()
+            with arms.else_case():
+                emit_loop()
+    if draw(st.booleans()):
+        emit_loop()
+    program = b.build()
+    inputs = {
+        "flag": [draw(st.integers(min_value=0, max_value=1))],
+    }
+    for array in arrays:
+        inputs[array.name] = list(range(array.words))
+    return program, inputs
+
+
+@st.composite
+def task_pairs(draw):
+    config = CacheConfig(
+        num_sets=draw(st.sampled_from([8, 16, 32])),
+        ways=draw(st.sampled_from([1, 2, 4])),
+        line_size=16,
+        miss_penalty=20,
+    )
+    low_program, low_inputs = draw(random_programs("low"))
+    high_program, high_inputs = draw(random_programs("high"))
+    layout = SystemLayout()
+    low_layout = layout.place(low_program)
+    high_layout = layout.place(high_program)
+    return config, (low_layout, low_inputs), (high_layout, high_inputs)
+
+
+def scenarios_for(inputs):
+    """Both branch directions, so traces cover every feasible path."""
+    zero = dict(inputs)
+    zero["flag"] = [0]
+    one = dict(inputs)
+    one["flag"] = [1]
+    return {"flag0": zero, "flag1": one}
+
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@given(pair=task_pairs(), preempt_step=st.integers(min_value=1, max_value=400))
+@_SETTINGS
+def test_measured_reloads_bounded_by_every_approach(pair, preempt_step):
+    config, (low_layout, low_inputs), (high_layout, high_inputs) = pair
+    low_art = analyze_task(low_layout, scenarios_for(low_inputs), config)
+    high_art = analyze_task(high_layout, scenarios_for(high_inputs), config)
+    crpd = CRPDAnalyzer({"low": low_art, "high": high_art})
+
+    cache = CacheState(config)
+    machine = Machine(layout=low_layout, cache=cache)
+    for array, values in low_inputs.items():
+        machine.write_array(array, values)
+    steps = 0
+    while not machine.halted and steps < preempt_step:
+        machine.step()
+        steps += 1
+    if machine.halted:
+        return  # preemption point beyond the program's end; trivially fine
+
+    resident_before = cache.resident_blocks() & low_art.footprint
+    intruder = Machine(layout=high_layout, cache=cache)
+    for array, values in high_inputs.items():
+        intruder.write_array(array, values)
+    intruder.run()
+    evicted = resident_before - cache.resident_blocks()
+
+    reloaded: set[int] = set()
+    while not machine.halted:
+        before = cache.resident_blocks()
+        machine.step()
+        reloaded |= (cache.resident_blocks() - before) & evicted
+    measured = len(reloaded)
+
+    lines = {a: crpd.lines_reloaded("low", "high", a) for a in ALL_APPROACHES}
+    for approach, bound in lines.items():
+        assert measured <= bound, (
+            f"approach {approach} bound {bound} violated: {measured} reloads"
+        )
+    # Approach ordering (Sections V-VI).
+    assert lines[Approach.COMBINED] <= lines[Approach.INTERTASK]
+    assert lines[Approach.COMBINED] <= lines[Approach.LEE]
+    assert lines[Approach.INTERTASK] <= lines[Approach.BUSQUETS]
+
+
+@given(pair=task_pairs())
+@_SETTINGS
+def test_per_point_mode_sound_and_dominates_def4(pair):
+    """The per_point Approach-4 variant is >= the Definition-4 value (the
+    joint maximisation covers the Definition-4 point) and bounds measured
+    reloads from a real mid-run preemption."""
+    config, (low_layout, low_inputs), (high_layout, high_inputs) = pair
+    low_art = analyze_task(low_layout, scenarios_for(low_inputs), config)
+    high_art = analyze_task(high_layout, scenarios_for(high_inputs), config)
+    paper = CRPDAnalyzer({"low": low_art, "high": high_art}, mumbs_mode="paper")
+    tight = CRPDAnalyzer({"low": low_art, "high": high_art}, mumbs_mode="per_point")
+    paper_lines = paper.lines_reloaded("low", "high", Approach.COMBINED)
+    tight_lines = tight.lines_reloaded("low", "high", Approach.COMBINED)
+    assert tight_lines >= paper_lines
+
+    # Empirical check against a mid-run full eviction by the real intruder.
+    cache = CacheState(config)
+    machine = Machine(layout=low_layout, cache=cache)
+    for array, values in low_inputs.items():
+        machine.write_array(array, values)
+    half = 60
+    steps = 0
+    while not machine.halted and steps < half:
+        machine.step()
+        steps += 1
+    if machine.halted:
+        return
+    resident_before = cache.resident_blocks() & low_art.footprint
+    intruder = Machine(layout=high_layout, cache=cache)
+    for array, values in high_inputs.items():
+        intruder.write_array(array, values)
+    intruder.run()
+    evicted = resident_before - cache.resident_blocks()
+    reloaded: set[int] = set()
+    while not machine.halted:
+        before = cache.resident_blocks()
+        machine.step()
+        reloaded |= (cache.resident_blocks() - before) & evicted
+    assert len(reloaded) <= tight_lines
+
+
+@given(pair=task_pairs())
+@_SETTINGS
+def test_static_bound_dominates_measured_wcet(pair):
+    """The all-miss structural bound dominates the measured WCET for
+    arbitrary generated programs."""
+    from repro.analysis.wcet import static_wcet_bound
+
+    config, (low_layout, low_inputs), _ = pair
+    art = analyze_task(low_layout, scenarios_for(low_inputs), config)
+    assert static_wcet_bound(low_layout, config) >= art.wcet.cycles
+
+
+@given(pair=task_pairs())
+@_SETTINGS
+def test_path_footprints_cover_observed_footprint(pair):
+    """Every observed memory block lies on at least one feasible path's
+    footprint (each executed node belongs to some path), and each path
+    footprint is a subset of the total footprint."""
+    from repro.program.paths import path_footprint
+
+    config, (low_layout, low_inputs), _ = pair
+    art = analyze_task(low_layout, scenarios_for(low_inputs), config)
+    per_node = art.per_node_blocks()
+    footprints = [
+        path_footprint(profile, per_node) for profile in art.path_profiles
+    ]
+    union: set[int] = set()
+    for fp in footprints:
+        assert fp <= art.footprint
+        union |= fp
+    assert union == set(art.footprint)
+
+
+@given(pair=task_pairs())
+@_SETTINGS
+def test_lee_bound_dominates_any_single_point(pair):
+    """Approach 3's MUMBS-based bound dominates every individual
+    execution point's reload bound (it is their maximum)."""
+    config, (low_layout, low_inputs), _ = pair
+    art = analyze_task(low_layout, scenarios_for(low_inputs), config)
+    lee = art.useful.lee_reload_bound()
+    for point in art.useful.points:
+        assert point.reload_bound() <= lee
+
+
+@given(pair=task_pairs())
+@_SETTINGS
+def test_cold_wcet_dominates_warm_runs(pair):
+    """The WCET measured from a cold cache bounds any warm-start run of
+    the same scenario (LRU has no cold-start anomalies)."""
+    config, (low_layout, low_inputs), (high_layout, high_inputs) = pair
+    low_art = analyze_task(low_layout, scenarios_for(low_inputs), config)
+    # Warm the cache with the other task, then run the measured scenario.
+    cache = CacheState(config)
+    intruder = Machine(layout=high_layout, cache=cache)
+    for array, values in high_inputs.items():
+        intruder.write_array(array, values)
+    intruder.run()
+    worst = low_art.wcet.worst_scenario
+    warm = Machine(layout=low_layout, cache=cache)
+    for array, values in scenarios_for(low_inputs)[worst].items():
+        warm.write_array(array, values)
+    warm.run()
+    assert warm.cycles <= low_art.wcet.cycles

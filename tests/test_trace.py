@@ -1,0 +1,115 @@
+"""Unit tests for memory-trace recording and per-node aggregation."""
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.vm.trace import MemRef, NodeRefs, NodeTraceAggregate, TraceRecorder
+
+
+@pytest.fixture
+def config():
+    return CacheConfig(num_sets=16, ways=2, line_size=16)
+
+
+def make_recorder(events):
+    recorder = TraceRecorder()
+    for address, kind, node in events:
+        recorder.record(address, kind, node)
+    return recorder
+
+
+class TestMemRef:
+    def test_valid_kinds(self):
+        for kind in ("code", "read", "write"):
+            MemRef(address=0, kind=kind, node="n")
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError, match="unknown reference kind"):
+            MemRef(address=0, kind="fetch", node="n")
+
+
+class TestRecorder:
+    def test_block_addresses(self, config):
+        recorder = make_recorder(
+            [(0x000, "read", "a"), (0x004, "read", "a"), (0x010, "write", "a")]
+        )
+        assert recorder.block_addresses(config) == frozenset({0x000, 0x010})
+
+    def test_block_sequence_preserves_order(self, config):
+        recorder = make_recorder(
+            [(0x010, "read", "a"), (0x000, "read", "a"), (0x013, "read", "a")]
+        )
+        assert recorder.block_sequence(config) == [0x010, 0x000, 0x010]
+
+    def test_visit_boundaries(self, config):
+        """Consecutive same-node references form one visit; a node change
+        starts a new visit even for a previously seen node."""
+        recorder = make_recorder(
+            [
+                (0x000, "read", "a"),
+                (0x010, "read", "a"),
+                (0x020, "read", "b"),
+                (0x030, "read", "a"),
+            ]
+        )
+        visits = recorder.node_visit_sequences(config)
+        assert visits["a"] == [(0x000, 0x010), (0x030,)]
+        assert visits["b"] == [(0x020,)]
+
+    def test_empty_recorder(self, config):
+        recorder = TraceRecorder()
+        assert recorder.node_visit_sequences(config) == {}
+        assert recorder.block_addresses(config) == frozenset()
+        assert len(recorder) == 0
+
+
+class TestNodeRefs:
+    def test_deterministic_detection(self):
+        same = NodeRefs(label="n", visit_sequences=((0x0, 0x10), (0x0, 0x10)))
+        assert same.deterministic
+        assert same.representative_sequence() == (0x0, 0x10)
+        differ = NodeRefs(label="n", visit_sequences=((0x0,), (0x10,)))
+        assert not differ.deterministic
+        assert differ.representative_sequence() == ()
+
+    def test_blocks_union(self):
+        refs = NodeRefs(label="n", visit_sequences=((0x0,), (0x10, 0x20)))
+        assert refs.blocks() == frozenset({0x0, 0x10, 0x20})
+
+    def test_empty_refs(self):
+        refs = NodeRefs(label="n", visit_sequences=())
+        assert refs.deterministic
+        assert refs.blocks() == frozenset()
+        assert refs.representative_sequence() == ()
+
+
+class TestAggregate:
+    def test_merges_multiple_recorders(self, config):
+        r1 = make_recorder([(0x000, "read", "a")])
+        r2 = make_recorder([(0x100, "read", "a"), (0x200, "read", "b")])
+        aggregate = NodeTraceAggregate.from_recorders(config, [r1, r2])
+        assert aggregate.refs("a").blocks() == frozenset({0x000, 0x100})
+        assert aggregate.footprint() == frozenset({0x000, 0x100, 0x200})
+
+    def test_unknown_node_is_empty(self, config):
+        aggregate = NodeTraceAggregate.from_recorders(config, [])
+        assert aggregate.refs("ghost").blocks() == frozenset()
+
+    def test_per_node_blocks(self, config):
+        r = make_recorder([(0x000, "read", "a"), (0x100, "write", "b")])
+        aggregate = NodeTraceAggregate.from_recorders(config, [r])
+        per_node = aggregate.per_node_blocks()
+        assert per_node == {
+            "a": frozenset({0x000}),
+            "b": frozenset({0x100}),
+        }
+
+    def test_footprint_matches_union_of_nodes(self, config):
+        r = make_recorder(
+            [(0x000, "read", "a"), (0x010, "read", "b"), (0x000, "write", "b")]
+        )
+        aggregate = NodeTraceAggregate.from_recorders(config, [r])
+        union = set()
+        for label in ("a", "b"):
+            union |= aggregate.refs(label).blocks()
+        assert aggregate.footprint() == frozenset(union)

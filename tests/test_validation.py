@@ -1,0 +1,45 @@
+"""Tests for the reproduction self-check (validation report)."""
+
+from repro.experiments import EXPERIMENT_I_SPEC, validate_reproduction
+from repro.experiments.validation import Check, ValidationReport
+
+
+class TestReportStructure:
+    def test_check_rendering(self):
+        assert "[PASS]" in Check(name="x", passed=True).render()
+        assert "[FAIL]" in Check(name="x", passed=False).render()
+        assert "(why)" in Check(name="x", passed=False, detail="why").render()
+
+    def test_report_verdict(self):
+        report = ValidationReport()
+        report.add("a", True)
+        assert report.passed
+        report.add("b", False, "broke")
+        assert not report.passed
+        text = report.render()
+        assert "FAILURES PRESENT" in text
+        assert "broke" in text
+
+    def test_empty_report_passes(self):
+        assert ValidationReport().passed
+
+
+class TestValidateReproduction:
+    def test_single_experiment_single_penalty(self):
+        """A reduced validation run must pass and cover the key claims."""
+        report = validate_reproduction(
+            penalties=(20,), specs=(EXPERIMENT_I_SPEC,)
+        )
+        assert report.passed, report.render()
+        names = [check.name for check in report.checks]
+        assert any("App4 <= min" in name for name in names)
+        assert any("ART <= every" in name for name in names)
+        assert any("Eq.6 underestimates" in name for name in names)
+
+    def test_cli_validate(self, capsys):
+        from repro.cli import main
+
+        code = main(["validate", "--penalties", "20"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ALL CHECKS PASSED" in out

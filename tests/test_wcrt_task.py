@@ -1,0 +1,105 @@
+"""Unit tests for the task model (TaskSpec / TaskSystem)."""
+
+import pytest
+
+from repro.wcrt import TaskSpec, TaskSystem
+
+
+class TestTaskSpec:
+    def test_valid_task(self):
+        task = TaskSpec(name="t", wcet=100, period=1000, priority=1)
+        assert task.effective_deadline == 1000
+        assert task.utilization == 0.1
+
+    def test_explicit_deadline(self):
+        task = TaskSpec(name="t", wcet=100, period=1000, priority=1, deadline=500)
+        assert task.effective_deadline == 500
+
+    def test_rejects_nonpositive_wcet(self):
+        with pytest.raises(ValueError, match="wcet"):
+            TaskSpec(name="t", wcet=0, period=100, priority=1)
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError, match="period"):
+            TaskSpec(name="t", wcet=1, period=0, priority=1)
+
+    def test_rejects_wcet_beyond_deadline(self):
+        with pytest.raises(ValueError, match="unschedulable"):
+            TaskSpec(name="t", wcet=200, period=100, priority=1)
+
+    def test_rejects_nonpositive_deadline(self):
+        with pytest.raises(ValueError, match="deadline"):
+            TaskSpec(name="t", wcet=1, period=100, priority=1, deadline=0)
+
+
+class TestTaskSystem:
+    def make_system(self):
+        return TaskSystem(
+            tasks=[
+                TaskSpec(name="low", wcet=300, period=3000, priority=4),
+                TaskSpec(name="high", wcet=100, period=1000, priority=2),
+                TaskSpec(name="mid", wcet=200, period=2000, priority=3),
+            ]
+        )
+
+    def test_sorted_by_priority(self):
+        system = self.make_system()
+        assert system.names() == ["high", "mid", "low"]
+
+    def test_higher_priority(self):
+        system = self.make_system()
+        assert [t.name for t in system.higher_priority("low")] == ["high", "mid"]
+        assert system.higher_priority("high") == []
+
+    def test_task_lookup(self):
+        system = self.make_system()
+        assert system.task("mid").wcet == 200
+        with pytest.raises(KeyError):
+            system.task("ghost")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            TaskSystem(tasks=[])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate task names"):
+            TaskSystem(
+                tasks=[
+                    TaskSpec(name="t", wcet=1, period=10, priority=1),
+                    TaskSpec(name="t", wcet=1, period=10, priority=2),
+                ]
+            )
+
+    def test_duplicate_priorities_rejected(self):
+        with pytest.raises(ValueError, match="duplicate priorities"):
+            TaskSystem(
+                tasks=[
+                    TaskSpec(name="a", wcet=1, period=10, priority=1),
+                    TaskSpec(name="b", wcet=1, period=10, priority=1),
+                ]
+            )
+
+    def test_utilization(self):
+        system = self.make_system()
+        assert system.utilization == pytest.approx(0.1 + 0.1 + 0.1)
+
+    def test_hyperperiod(self):
+        system = self.make_system()
+        assert system.hyperperiod == 6000
+
+    def test_rate_monotonic_consistency(self):
+        assert self.make_system().rate_monotonic_consistent()
+        inverted = TaskSystem(
+            tasks=[
+                TaskSpec(name="a", wcet=1, period=100, priority=2),
+                TaskSpec(name="b", wcet=1, period=10, priority=3),
+            ]
+        )
+        assert not inverted.rate_monotonic_consistent()
+
+    def test_experiment_systems_are_rma(self, experiment1_context, experiment2_context):
+        """The paper uses RMA: shorter period -> higher priority (Table I)."""
+        assert experiment1_context.system.rate_monotonic_consistent()
+        assert experiment2_context.system.rate_monotonic_consistent()
+        assert experiment1_context.system.utilization < 1.0
+        assert experiment2_context.system.utilization < 1.0

@@ -1,0 +1,298 @@
+"""Functional correctness of the benchmark kernels against references.
+
+Each workload is a real algorithm implemented in the IR; these tests run
+it on the VM and compare the outputs with straightforward Python (or
+numpy) reference implementations.
+"""
+
+import pytest
+
+from repro.cache import CacheConfig, CacheState
+from repro.program import SystemLayout
+from repro.vm import Machine
+from repro.workloads import (
+    build_adpcm_coder,
+    build_adpcm_decoder,
+    build_edge_detection,
+    build_idct,
+    build_mobile_robot,
+    build_ofdm,
+    reference_decode,
+    reference_encode,
+    reference_idct,
+)
+from repro.workloads.adpcm import reference_pack
+from repro.workloads.edge_detection import CAUCHY_KERNEL, SOBEL_GX, SOBEL_GY
+from repro.workloads.idct import idct_basis_table
+
+
+def run_workload(workload, scenario_name):
+    layout = SystemLayout().place(workload.program)
+    machine = Machine(layout=layout, cache=CacheState(CacheConfig.scaled_16k()))
+    scenario = workload.scenario(scenario_name)
+    for name, values in scenario.inputs.items():
+        machine.write_array(name, values)
+    machine.run()
+    return machine
+
+
+class TestEdgeDetection:
+    def reference_sobel(self, image, width, height, threshold):
+        out = []
+        for y in range(height - 2):
+            for x in range(width - 2):
+                gx = gy = 0
+                for ky in range(3):
+                    for kx in range(3):
+                        p = image[(y + ky) * width + (x + kx)]
+                        gx += p * SOBEL_GX[ky * 3 + kx]
+                        gy += p * SOBEL_GY[ky * 3 + kx]
+                mag = abs(gx) + abs(gy)
+                out.append(255 if mag >= threshold else 0)
+        return out
+
+    def test_sobel_path_matches_reference(self):
+        workload = build_edge_detection(width=8, height=8, threshold=200)
+        machine = run_workload(workload, "sobel")
+        image = workload.scenario("sobel").inputs["image"]
+        expected = self.reference_sobel(image, 8, 8, 200)
+        assert machine.read_array("edges") == expected
+
+    def test_cauchy_path_matches_reference(self):
+        workload = build_edge_detection(width=8, height=8, threshold=200)
+        machine = run_workload(workload, "cauchy")
+        scenario = workload.scenario("cauchy")
+        image = scenario.inputs["image"]
+        lut = scenario.inputs["angle_lut"]
+        expected = []
+        for y in range(6):
+            for x in range(6):
+                acc = 0
+                for ky in range(3):
+                    for kx in range(3):
+                        acc += image[(y + ky) * 8 + (x + kx)] * CAUCHY_KERNEL[
+                            ky * 3 + kx
+                        ]
+                acc //= 16
+                centre = image[(y + 1) * 8 + (x + 1)]
+                resp = abs(centre - acc)
+                angle = lut[min(resp >> 3, 31)]
+                expected.append(angle if resp >= 50 else 0)
+        assert machine.read_array("edges") == expected
+
+    def test_paths_produce_different_outputs(self):
+        workload = build_edge_detection(width=8, height=8)
+        sobel = run_workload(workload, "sobel").read_array("edges")
+        cauchy = run_workload(workload, "cauchy").read_array("edges")
+        assert sobel != cauchy
+
+    def test_tiny_image_rejected(self):
+        with pytest.raises(ValueError, match="3x3"):
+            build_edge_detection(width=2, height=8)
+
+
+class TestADPCM:
+    def test_coder_matches_reference(self):
+        workload = build_adpcm_coder(samples=64)
+        machine = run_workload(workload, "tone")
+        pcm = workload.scenario("tone").inputs["pcm_in"]
+        expected = reference_encode(pcm)
+        assert machine.read_array("encoded", count=64) == expected
+        assert machine.read_array("packed") == reference_pack(expected)
+
+    def test_coder_noise_scenario(self):
+        workload = build_adpcm_coder(samples=64)
+        machine = run_workload(workload, "noise")
+        pcm = workload.scenario("noise").inputs["pcm_in"]
+        assert machine.read_array("encoded", count=64) == reference_encode(pcm)
+
+    def test_decoder_matches_reference(self):
+        workload = build_adpcm_decoder(codes=64)
+        machine = run_workload(workload, "stream_a")
+        codes = workload.scenario("stream_a").inputs["encoded_in"]
+        assert machine.read_array("pcm_out", count=64) == reference_decode(codes)
+
+    def test_roundtrip_tracks_signal(self):
+        """Encode then decode: the output must roughly follow the input."""
+        from repro.workloads.signals import pcm_frame
+
+        pcm = pcm_frame(128, seed=5)
+        decoded = reference_decode(reference_encode(pcm))
+        # ADPCM is lossy; after convergence the error stays bounded.
+        tail_error = [abs(a - b) for a, b in zip(pcm[32:], decoded[32:])]
+        assert max(tail_error) < 4000
+
+    def test_decoder_upsampling(self):
+        workload = build_adpcm_decoder(codes=64)
+        machine = run_workload(workload, "stream_a")
+        pcm = machine.read_array("pcm_out", count=64)
+        up = machine.read_array("upsampled", count=128)
+        for i in range(63):
+            assert up[2 * i] == pcm[i]
+            assert up[2 * i + 1] == (pcm[i] + pcm[i + 1]) >> 1
+        assert up[126] == pcm[63]
+        assert up[127] == pcm[63]
+
+    def test_all_codes_are_nibbles(self):
+        workload = build_adpcm_coder(samples=64)
+        machine = run_workload(workload, "tone")
+        assert all(0 <= c <= 15 for c in machine.read_array("encoded", count=64))
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            build_adpcm_coder(samples=3)  # odd
+        with pytest.raises(ValueError):
+            build_adpcm_decoder(codes=1)
+
+
+class TestIDCT:
+    @pytest.mark.parametrize("dim", [4, 8])
+    def test_matches_reference(self, dim):
+        workload = build_idct(num_blocks=1, block_dim=dim)
+        machine = run_workload(workload, "sparse")
+        coeffs = workload.scenario("sparse").inputs["coeffs"]
+        expected = reference_idct(coeffs, dim)
+        assert machine.read_array("pixels", count=dim * dim) == expected
+
+    def test_multiple_blocks_independent(self):
+        workload = build_idct(num_blocks=2, block_dim=4)
+        machine = run_workload(workload, "sparse")
+        coeffs = workload.scenario("sparse").inputs["coeffs"]
+        pixels = machine.read_array("pixels")
+        for block in range(2):
+            expected = reference_idct(coeffs[block * 16 : (block + 1) * 16], 4)
+            assert pixels[block * 16 : (block + 1) * 16] == expected
+
+    def test_dc_only_block_is_flat(self):
+        """A DC-only coefficient block must decode to a constant plane."""
+        import math
+
+        dim = 4
+        workload = build_idct(num_blocks=1, block_dim=dim)
+        layout = SystemLayout().place(workload.program)
+        machine = Machine(layout=layout, cache=CacheState(CacheConfig.scaled_4k()))
+        machine.write_array("basis", idct_basis_table(dim))
+        coeffs = [4096] + [0] * (dim * dim - 1)
+        machine.write_array("coeffs", coeffs)
+        machine.run()
+        pixels = machine.read_array("pixels", count=dim * dim)
+        assert len(set(pixels)) == 1
+        expected_level = reference_idct(coeffs, dim)[0]
+        assert pixels[0] == expected_level
+
+    def test_agrees_with_numpy_idct(self):
+        """Cross-check the integer IDCT against scipy-free numpy DCT-III."""
+        import numpy as np
+
+        dim = 8
+        workload = build_idct(num_blocks=1, block_dim=dim)
+        coeffs = workload.scenario("sparse").inputs["coeffs"]
+        ours = np.array(reference_idct(coeffs, dim), dtype=float).reshape(dim, dim)
+        # Float reference: out = C^T X C with orthonormal DCT basis.
+        basis = np.zeros((dim, dim))
+        for u in range(dim):
+            scale = np.sqrt(1.0 / dim) if u == 0 else np.sqrt(2.0 / dim)
+            for x in range(dim):
+                basis[u, x] = scale * np.cos((2 * x + 1) * u * np.pi / (2 * dim))
+        X = np.array(coeffs, dtype=float).reshape(dim, dim)
+        exact = basis.T @ X @ basis
+        error = np.abs(ours - exact.T.T)  # same orientation as reference
+        assert np.max(np.abs(ours - exact)) < 4.0  # Q12 rounding error only
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            build_idct(num_blocks=0)
+        with pytest.raises(ValueError):
+            build_idct(block_dim=1)
+
+
+class TestOFDM:
+    def test_transform_matches_numpy_fft(self):
+        """The radix-2 kernel implements a DIT FFT with e^{-i...} twiddles;
+        check against numpy's FFT on the QPSK symbol vector."""
+        import numpy as np
+
+        workload = build_ofdm(fft_size=32, prefix=8)
+        machine = run_workload(workload, "frame")
+        scenario = workload.scenario("frame")
+        qdata = scenario.inputs["qdata"]
+        scramble = scenario.inputs["scramble"]
+        symbols = []
+        for bits, mask in zip(qdata, scramble):
+            two = bits ^ mask
+            re = 1024 if (two & 1) == 0 else -1024
+            im = 1024 if (two >> 1) == 0 else -1024
+            symbols.append(complex(re, im))
+        expected = np.fft.fft(np.array(symbols))
+        got_re = machine.read_array("work_re")
+        got_im = machine.read_array("work_im")
+        got = np.array(got_re) + 1j * np.array(got_im)
+        # Q12 twiddles over 5 stages: allow ~1% relative error.
+        scale = np.max(np.abs(expected)) or 1.0
+        assert np.max(np.abs(got - expected)) / scale < 0.02
+
+    def test_cyclic_prefix_structure(self):
+        workload = build_ofdm(fft_size=32, prefix=8)
+        machine = run_workload(workload, "frame")
+        out_re = machine.read_array("out_re")
+        window = workload.scenario("frame").inputs["window"]
+        # Reconstruct pre-window frame: samples / gains (where gain full).
+        work_re = machine.read_array("work_re")
+        for p in range(8):
+            if window[p] == 4096:
+                assert out_re[p] == work_re[32 - 8 + p]
+        for n in range(32):
+            k = n + 8
+            if window[k] == 4096:
+                assert out_re[k] == work_re[n]
+
+    def test_window_attenuates_edges(self):
+        workload = build_ofdm(fft_size=32, prefix=8)
+        gains = workload.scenario("frame").inputs["window"]
+        assert gains[0] < 4096
+        assert gains[-1] < 4096
+        assert max(gains) == 4096
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            build_ofdm(fft_size=48)
+        with pytest.raises(ValueError):
+            build_ofdm(fft_size=32, prefix=0)
+        with pytest.raises(ValueError):
+            build_ofdm(fft_size=32, prefix=64)
+
+
+class TestMobileRobot:
+    def test_actuators_written(self):
+        workload = build_mobile_robot(control_iterations=2)
+        machine = run_workload(workload, "sweep")
+        actuators = machine.read_array("actuators")
+        assert any(v != 0 for v in actuators)
+
+    def test_command_clamped(self):
+        workload = build_mobile_robot(control_iterations=2)
+        machine = run_workload(workload, "sweep")
+        gains = workload.scenario("sweep").inputs["gains"]
+        clamp = gains[3]
+        steering = workload.scenario("sweep").inputs["steering"]
+        actuators = machine.read_array("actuators")
+        for value, scale in zip(actuators, steering):
+            assert abs(value) <= abs(clamp * scale) // 16 + 1
+
+    def test_grid_receives_evidence(self):
+        workload = build_mobile_robot(control_iterations=2)
+        machine = run_workload(workload, "sweep")
+        grid = machine.read_array("grid")
+        assert any(v > 0 for v in grid)
+        assert all(0 <= v <= 255 for v in grid)
+
+    def test_iterations_scale_cycles(self):
+        short = build_mobile_robot(control_iterations=1)
+        long = build_mobile_robot(control_iterations=4)
+        m_short = run_workload(short, "sweep")
+        m_long = run_workload(long, "sweep")
+        assert m_long.cycles > 2 * m_short.cycles
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            build_mobile_robot(control_iterations=0)

@@ -1,0 +1,202 @@
+"""Tests for write-back cache support (dirty lines, writeback costs)."""
+
+import pytest
+
+from repro.analysis import ALL_APPROACHES, Approach, CRPDAnalyzer, analyze_task
+from repro.cache import CacheConfig, CacheState
+from repro.program import ProgramBuilder, SystemLayout
+from repro.sched import Simulator, TaskBinding
+from repro.vm import run_isolated
+from repro.wcrt import TaskSpec, TaskSystem, compute_system_wcrt
+
+
+def wb_config(**kwargs):
+    defaults = dict(
+        num_sets=4, ways=2, line_size=16, miss_penalty=20,
+        write_back=True, writeback_penalty=15,
+    )
+    defaults.update(kwargs)
+    return CacheConfig(**defaults)
+
+
+class TestConfig:
+    def test_effective_writeback_penalty(self):
+        assert wb_config().effective_writeback_penalty == 15
+        assert wb_config(writeback_penalty=None).effective_writeback_penalty == 20
+        no_wb = CacheConfig(num_sets=4, ways=2, line_size=16)
+        assert no_wb.effective_writeback_penalty == 0
+
+    def test_negative_writeback_rejected(self):
+        with pytest.raises(ValueError, match="writeback_penalty"):
+            wb_config(writeback_penalty=-1)
+
+
+class TestDirtyTracking:
+    def test_store_dirties_line(self):
+        cache = CacheState(wb_config())
+        cache.access(0x00, write=True)
+        assert cache.is_dirty(0x00)
+        assert cache.dirty_blocks() == {0x00}
+
+    def test_read_does_not_dirty(self):
+        cache = CacheState(wb_config())
+        cache.access(0x00)
+        assert not cache.is_dirty(0x00)
+
+    def test_write_through_mode_never_dirty(self):
+        cache = CacheState(CacheConfig(num_sets=4, ways=2, line_size=16))
+        cache.access(0x00, write=True)
+        assert not cache.is_dirty(0x00)
+        assert cache.dirty_blocks() == set()
+
+    def test_dirty_eviction_charges_writeback(self):
+        cache = CacheState(wb_config())
+        cache.access(0x00, write=True)  # dirty, set 0
+        cache.access(0x40)  # set 0
+        result = cache.access(0x80)  # set 0 -> evicts dirty 0x00
+        assert result.evicted_block == 0x00
+        assert result.cycles == 20 + 15
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_costs_nothing_extra(self):
+        cache = CacheState(wb_config())
+        cache.access(0x00)
+        cache.access(0x40)
+        result = cache.access(0x80)
+        assert result.cycles == 20
+        assert cache.stats.writebacks == 0
+
+    def test_reloaded_block_is_clean(self):
+        cache = CacheState(wb_config(ways=1))
+        cache.access(0x00, write=True)
+        cache.access(0x40)  # evicts dirty 0x00 (writeback)
+        cache.access(0x00)  # reload as clean
+        assert not cache.is_dirty(0x00)
+        assert cache.stats.writebacks == 1
+
+    def test_invalidate_discards_dirty(self):
+        cache = CacheState(wb_config())
+        cache.access(0x00, write=True)
+        cache.invalidate()
+        assert cache.dirty_blocks() == set()
+        assert cache.stats.writebacks == 0
+
+    def test_invalidate_block_clears_dirty_bit(self):
+        cache = CacheState(wb_config())
+        cache.access(0x00, write=True)
+        cache.invalidate_block(0x00)
+        assert not cache.is_dirty(0x00)
+
+    def test_stats_reset_clears_writebacks(self):
+        cache = CacheState(wb_config())
+        cache.access(0x00, write=True)
+        cache.access(0x40)
+        cache.access(0x80)
+        cache.stats.reset()
+        assert cache.stats.writebacks == 0
+
+
+class TestVMWithWriteback:
+    def build(self, words=64, reps=2):
+        b = ProgramBuilder("wb")
+        data = b.array("data", words=words)
+        out = b.array("out", words=words)
+        with b.loop(reps):
+            with b.loop(words) as i:
+                b.load("v", data, index=i)
+                b.store("v", out, index=i)
+        return SystemLayout().place(b.build())
+
+    def test_write_back_can_cost_more_under_conflict(self):
+        """With a cache too small for the working set, dirty evictions add
+        writeback cycles on top of the misses."""
+        layout = self.build()
+        through = run_isolated(
+            layout,
+            CacheState(CacheConfig(num_sets=4, ways=2, line_size=16,
+                                   miss_penalty=20)),
+            inputs={"data": list(range(64))},
+        )
+        back = run_isolated(
+            self.build(),
+            CacheState(wb_config()),
+            inputs={"data": list(range(64))},
+        )
+        assert back.cycles > through.cycles
+
+    def test_writeback_cycle_accounting_exact(self):
+        layout = self.build(words=16, reps=1)
+        cache = CacheState(wb_config(num_sets=2, ways=1))
+        machine = run_isolated(layout, cache, inputs={"data": list(range(16))})
+        base_cache = CacheState(
+            CacheConfig(num_sets=2, ways=1, line_size=16, miss_penalty=20)
+        )
+        base = run_isolated(self.build(words=16, reps=1), base_cache,
+                            inputs={"data": list(range(16))})
+        assert machine.cycles == base.cycles + 15 * cache.stats.writebacks
+        assert cache.stats.writebacks > 0
+
+
+class TestWritebackCRPD:
+    def make_pair(self):
+        config = CacheConfig(
+            num_sets=16, ways=2, line_size=16, miss_penalty=20,
+            write_back=True, writeback_penalty=15,
+        )
+        layout = SystemLayout()
+
+        def build(name, words, reps):
+            b = ProgramBuilder(name)
+            data = b.array("data", words=words)
+            out = b.array("out", words=words)
+            with b.loop(reps):
+                with b.loop(words) as i:
+                    b.load("v", data, index=i)
+                    b.store("v", out, index=i)
+            return layout.place(b.build()), {"data": list(range(words))}
+
+        low_layout, low_inputs = build("low", 48, 12)
+        high_layout, high_inputs = build("high", 24, 1)
+        low = analyze_task(low_layout, {"d": low_inputs}, config)
+        high = analyze_task(high_layout, {"d": high_inputs}, config)
+        return config, (low_layout, low_inputs, low), (high_layout, high_inputs, high)
+
+    def test_cpre_includes_writeback_term(self):
+        config, (pl, pi, low), (hl, hi, high) = self.make_pair()
+        crpd = CRPDAnalyzer({"low": low, "high": high})
+        lines = crpd.lines_reloaded("low", "high", Approach.COMBINED)
+        dirty_bound = crpd.lines_reloaded("low", "high", Approach.INTERTASK)
+        expected = lines * 20 + dirty_bound * 15
+        assert crpd.cpre("low", "high", Approach.COMBINED) == expected
+
+    def test_wcrt_sound_under_writeback(self):
+        """ART <= Eq.7 WCRT with the writeback-aware Cpre on a real
+        contended system."""
+        config, (low_layout, low_inputs, low), (high_layout, high_inputs, high) = (
+            self.make_pair()
+        )
+        crpd = CRPDAnalyzer({"low": low, "high": high})
+        # Round periods keep the hyperperiod (and thus the simulation) small.
+        high_spec = TaskSpec(name="high", wcet=high.wcet.cycles,
+                             period=5_000, priority=1)
+        low_spec = TaskSpec(name="low", wcet=low.wcet.cycles,
+                            period=50_000, priority=2)
+        system = TaskSystem(tasks=[high_spec, low_spec])
+        ccs = 100
+        wcrt = compute_system_wcrt(
+            system,
+            cpre=lambda l, h: crpd.cpre(l, h, Approach.COMBINED),
+            context_switch=ccs,
+        )
+        simulator = Simulator(
+            [
+                TaskBinding(high_spec, high_layout, high_inputs),
+                TaskBinding(low_spec, low_layout, low_inputs),
+            ],
+            cache=CacheState(config),
+            context_switch_cycles=ccs,
+        )
+        result = simulator.run(horizon=2 * system.hyperperiod)
+        art = result.actual_response_time("low")
+        assert result.preemption_count("low") > 0
+        assert art <= wcrt.wcrt("low"), (art, wcrt.wcrt("low"))
