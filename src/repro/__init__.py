@@ -19,10 +19,19 @@ Systems with Caches"* (Tan & Mooney, DATE 2004).  The package provides:
 
 from repro.cache import CacheConfig, CacheState, CIIP, conflict_bound
 from repro.analysis import Approach, CRPDAnalyzer, TaskArtifacts, analyze_task
+from repro.errors import (
+    BudgetExceeded,
+    ConfigError,
+    DivergenceError,
+    PathExplosionError,
+    ReproError,
+    SimulationError,
+)
+from repro.guard import AnalysisBudget, DegradationLedger
 from repro.wcrt import TaskSpec, TaskSystem, compute_system_wcrt
 from repro.sched import Simulator, TaskBinding
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CacheConfig",
@@ -33,6 +42,14 @@ __all__ = [
     "CRPDAnalyzer",
     "TaskArtifacts",
     "analyze_task",
+    "ReproError",
+    "ConfigError",
+    "BudgetExceeded",
+    "PathExplosionError",
+    "DivergenceError",
+    "SimulationError",
+    "AnalysisBudget",
+    "DegradationLedger",
     "TaskSpec",
     "TaskSystem",
     "compute_system_wcrt",

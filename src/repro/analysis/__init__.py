@@ -6,6 +6,7 @@ from repro.analysis.crpd import (
     Approach,
     CRPDAnalyzer,
     PreemptionEstimate,
+    conservative_approach4_lines,
 )
 from repro.analysis.report import system_report, task_report
 from repro.analysis.sensitivity import (
@@ -52,6 +53,7 @@ __all__ = [
     "Approach",
     "CRPDAnalyzer",
     "PreemptionEstimate",
+    "conservative_approach4_lines",
     "system_report",
     "task_report",
     "PenaltyModel",

@@ -6,21 +6,35 @@ memory traces, computes the task footprint and its CIIP, solves the RMB/LMB
 dataflow, derives the useful-block analysis and enumerates feasible paths.
 The resulting :class:`TaskArtifacts` bundle is what the CRPD estimators
 (:mod:`repro.analysis.crpd`) consume.
+
+When an :class:`~repro.guard.budget.AnalysisBudget` is supplied the
+pipeline is *guarded*: path enumeration past ``max_paths`` no longer kills
+the analysis but marks the artifacts path-incomplete (Approach 4 then
+degrades to the MUMBS∩CIIP bound, which needs no path profiles), and a
+wall-clock overrun raises the typed
+:class:`~repro.errors.BudgetExceeded` — the WCET measurement underlying
+everything has no sound shortcut.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.analysis.rmb_lmb import RMBLMBResult, solve_rmb_lmb
 from repro.analysis.useful import UsefulBlocksAnalysis, compute_useful_blocks
 from repro.analysis.wcet import Scenarios, WCETResult, measure_wcet
 from repro.cache.ciip import CIIP
 from repro.cache.config import CacheConfig
+from repro.errors import PathExplosionError
 from repro.program.builder import Program
 from repro.program.layout import ProgramLayout
 from repro.program.paths import PathProfile, enumerate_path_profiles
 from repro.vm.trace import NodeTraceAggregate
+
+if TYPE_CHECKING:
+    from repro.guard.budget import AnalysisBudget, BudgetClock
+    from repro.guard.ledger import DegradationLedger
 
 
 @dataclass
@@ -37,6 +51,10 @@ class TaskArtifacts:
     dataflow: RMBLMBResult
     useful: UsefulBlocksAnalysis
     path_profiles: list[PathProfile]
+    #: False when path enumeration was cut off by a budget: the (empty)
+    #: profile list is then NOT a sound basis for Eq. 4 and path-level
+    #: CRPD must fall back to bounds that need no paths.
+    path_enumeration_complete: bool = True
 
     @property
     def program(self) -> Program:
@@ -66,6 +84,9 @@ def analyze_task(
     scenarios: Scenarios,
     config: CacheConfig,
     max_steps: int = 10_000_000,
+    budget: "AnalysisBudget | None" = None,
+    ledger: "DegradationLedger | None" = None,
+    clock: "BudgetClock | None" = None,
 ) -> TaskArtifacts:
     """Run the full single-task analysis pipeline (Section III-B steps 1-2).
 
@@ -74,14 +95,46 @@ def analyze_task(
     the intra-task RMB/LMB dataflow and the useful-block analysis.  Path
     profiles for the inter-task path analysis (step 4) are enumerated here
     too, since they only depend on the program structure.
+
+    With a *budget*, path enumeration uses ``budget.max_paths`` and a
+    blow-up degrades (non-strict) to path-incomplete artifacts instead of
+    raising; simulation steps are capped by ``budget.max_sim_steps`` and
+    the wall-clock deadline is enforced between stages.  *ledger* receives
+    a record of any degradation; *clock* lets a caller share one wall-clock
+    countdown across several tasks.
     """
     program = layout.program
     program.cfg.validate()
+    path_limit = 4096
+    if budget is not None:
+        max_steps = min(max_steps, budget.max_sim_steps)
+        path_limit = budget.max_paths
+        if clock is None:
+            clock = budget.start()
+    if clock is not None:
+        clock.check(f"wcet:{program.name}")
     wcet = measure_wcet(layout, scenarios, config, max_steps=max_steps)
+    if clock is not None:
+        clock.check(f"dataflow:{program.name}")
     aggregate = NodeTraceAggregate.from_recorders(config, wcet.traces.values())
     footprint = aggregate.footprint()
     dataflow = solve_rmb_lmb(program.cfg, aggregate, config)
     useful = compute_useful_blocks(program.cfg, dataflow, aggregate)
+    path_profiles: list[PathProfile] = []
+    path_complete = True
+    try:
+        path_profiles = enumerate_path_profiles(program, limit=path_limit)
+    except PathExplosionError as error:
+        if budget is None or budget.strict:
+            raise
+        path_complete = False
+        if ledger is not None:
+            ledger.record(
+                stage=f"paths:{program.name}",
+                budget="max_paths",
+                reason=str(error),
+                fallback="path-incomplete artifacts (Eq. 4 -> MUMBS∩CIIP)",
+            )
     return TaskArtifacts(
         name=program.name,
         layout=layout,
@@ -92,5 +145,6 @@ def analyze_task(
         footprint_ciip=CIIP.from_addresses(config, footprint),
         dataflow=dataflow,
         useful=useful,
-        path_profiles=enumerate_path_profiles(program),
+        path_profiles=path_profiles,
+        path_enumeration_complete=path_complete,
     )

@@ -10,16 +10,31 @@ Brings the four approaches of Section VIII together behind one interface:
 
 ``Cpre(Ta, Tb) = lines × Cmiss`` (Equation 5) converts a line count into
 the cache reload cost charged per preemption in the WCRT recurrence.
+
+Guarded operation: give the analyzer an
+:class:`~repro.guard.budget.AnalysisBudget` and a
+:class:`~repro.guard.ledger.DegradationLedger` and Approach 4 degrades
+along the sound ladder — exact Eq. 4 path cost → MUMBS∩CIIP (Eq. 3) →
+|MUMBS| capped per set (Lee's bound) — whenever path profiles are
+unavailable (enumeration budget tripped) or the wall clock ran out,
+instead of raising.  Every degradation lands in the ledger; strict mode
+raises :class:`~repro.errors.BudgetExceeded` instead.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import IntEnum
+from typing import TYPE_CHECKING
 
 from repro.analysis.artifacts import TaskArtifacts
-from repro.analysis.intertask import approach1_lines, approach2_lines
+from repro.analysis.intertask import approach1_lines, approach2_lines, eq3_lines
 from repro.analysis.pathcost import approach4_lines
+from repro.errors import BudgetExceeded, ConfigError
+
+if TYPE_CHECKING:
+    from repro.guard.budget import AnalysisBudget, BudgetClock
+    from repro.guard.ledger import DegradationLedger
 
 
 class Approach(IntEnum):
@@ -32,6 +47,31 @@ class Approach(IntEnum):
 
 
 ALL_APPROACHES = tuple(Approach)
+
+
+def conservative_approach4_lines(
+    preempted: TaskArtifacts,
+    preempting: TaskArtifacts,
+    mumbs_mode: str = "per_point",
+) -> int:
+    """Sound over-approximation of Approach 4 needing *no* path profiles.
+
+    The degradation ladder below exact Eq. 4: Lee's per-point bound
+    (|MUMBS| capped at ``L`` per set, Approach 3) and the footprint
+    intersection (Eq. 2, Approach 2) both dominate every per-point,
+    per-path conflict; in ``"paper"`` mode the MUMBS∩CIIP bound
+    ``S(M̃a, Mb)`` (Eq. 3) additionally dominates Definition 4's
+    path-maximised cost because every path footprint ``Mb^k ⊆ Mb``.
+    The minimum of the applicable bounds is returned — still an upper
+    bound on the exact value, but never looser than Approaches 2/3.
+    """
+    bound = min(
+        preempted.useful.lee_reload_bound(),
+        approach2_lines(preempted, preempting),
+    )
+    if mumbs_mode == "paper":
+        bound = min(bound, eq3_lines(preempted, preempting))
+    return bound
 
 
 @dataclass(frozen=True)
@@ -59,19 +99,39 @@ class CRPDAnalyzer:
             when the conflict-maximising execution point differs from the
             useful-count-maximising one (see
             :func:`repro.analysis.pathcost.approach4_lines`).
+        budget: optional :class:`AnalysisBudget` enabling guarded
+            operation (sound Approach 4 degradation instead of failure).
+        ledger: receives a :class:`DegradationEvent` per fallback fired;
+            a fresh ledger is created when omitted.
+        clock: optional shared wall-clock countdown; created from
+            *budget* on first use when omitted.
     """
 
     def __init__(
-        self, tasks: dict[str, TaskArtifacts], mumbs_mode: str = "per_point"
+        self,
+        tasks: dict[str, TaskArtifacts],
+        mumbs_mode: str = "per_point",
+        budget: "AnalysisBudget | None" = None,
+        ledger: "DegradationLedger | None" = None,
+        clock: "BudgetClock | None" = None,
     ):
         if not tasks:
-            raise ValueError("no tasks given")
+            raise ConfigError("no tasks given")
         configs = {artifacts.config for artifacts in tasks.values()}
         if len(configs) != 1:
-            raise ValueError("all tasks must share one cache configuration")
+            raise ConfigError("all tasks must share one cache configuration")
         self.tasks = dict(tasks)
         self.config = next(iter(configs))
         self.mumbs_mode = mumbs_mode
+        self.budget = budget
+        if ledger is None:
+            from repro.guard.ledger import DegradationLedger
+
+            ledger = DegradationLedger()
+        self.ledger = ledger
+        if clock is None and budget is not None:
+            clock = budget.start()
+        self.clock = clock
         self._lines_cache: dict[tuple[str, str, Approach], int] = {}
 
     def _artifacts(self, name: str) -> TaskArtifacts:
@@ -103,8 +163,64 @@ class CRPDAnalyzer:
         if approach is Approach.LEE:
             return low.useful.lee_reload_bound()
         if approach is Approach.COMBINED:
-            return approach4_lines(low, high, mumbs_mode=self.mumbs_mode)
-        raise ValueError(f"unknown approach {approach!r}")
+            return self._combined_lines(low, high)
+        raise ConfigError(f"unknown approach {approach!r}")
+
+    def _combined_lines(self, low: TaskArtifacts, high: TaskArtifacts) -> int:
+        """Approach 4, degrading along the sound ladder under a budget."""
+        stage = f"crpd:{low.name}<-{high.name}"
+        if not high.path_enumeration_complete:
+            return self._degrade(
+                low,
+                high,
+                stage=stage,
+                tripped="max_paths",
+                reason=(
+                    f"path enumeration of {high.name!r} exceeded the budget; "
+                    "Eq. 4 path analysis unavailable"
+                ),
+            )
+        if self.clock is not None and self.clock.expired:
+            return self._degrade(
+                low,
+                high,
+                stage=stage,
+                tripped="wall_clock_seconds",
+                reason=(
+                    f"wall-clock budget exhausted after "
+                    f"{self.clock.elapsed():.3f}s; skipping Eq. 4 path "
+                    "maximisation"
+                ),
+            )
+        strict = self.budget is not None and self.budget.strict
+        return approach4_lines(low, high, mumbs_mode=self.mumbs_mode, strict=strict)
+
+    def _degrade(
+        self,
+        low: TaskArtifacts,
+        high: TaskArtifacts,
+        stage: str,
+        tripped: str,
+        reason: str,
+    ) -> int:
+        if self.budget is not None and self.budget.strict:
+            raise BudgetExceeded(
+                f"{stage}: {reason} (strict mode forbids degradation)",
+                budget=tripped,
+                stage=stage,
+            )
+        self.ledger.record(
+            stage=stage,
+            budget=tripped,
+            reason=reason,
+            fallback="min(MUMBS∩CIIP, |MUMBS| per-set cap, Eq. 2)",
+        )
+        return conservative_approach4_lines(low, high, self.mumbs_mode)
+
+    @property
+    def soundness(self) -> str:
+        """``"exact"`` when no Approach 4 estimate was degraded."""
+        return self.ledger.soundness
 
     def cpre(
         self,

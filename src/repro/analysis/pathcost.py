@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.analysis.artifacts import TaskArtifacts
 from repro.cache.ciip import CIIP, conflict_bound
+from repro.errors import ConfigError
 from repro.program.paths import PathProfile, path_footprint
 
 
@@ -35,12 +36,24 @@ class PathCostResult:
     @property
     def worst(self) -> PathCost:
         if not self.per_path:
-            raise ValueError("preempting task has no feasible paths")
+            raise ConfigError("preempting task has no feasible paths")
         return max(self.per_path, key=lambda p: p.cost)
 
     @property
     def lines(self) -> int:
-        """The Section VI bound: cost of the longest path."""
+        """The Section VI bound: cost of the longest path.
+
+        A preemptor with *zero* feasible paths executes nothing and can
+        evict nothing, so its path-level CRPD contribution is 0 rather
+        than an error; :meth:`lines_strict` keeps the fatal behaviour for
+        callers that treat an empty path set as a configuration bug.
+        """
+        if not self.per_path:
+            return 0
+        return self.worst.cost
+
+    def lines_strict(self) -> int:
+        """Like :attr:`lines` but raising :class:`ConfigError` on zero paths."""
         return self.worst.cost
 
 
@@ -72,8 +85,13 @@ def approach4_lines(
     preempted: TaskArtifacts,
     preempting: TaskArtifacts,
     mumbs_mode: str = "paper",
+    strict: bool = False,
 ) -> int:
     """Approach 4: combined intra-task + inter-task + path analysis.
+
+    A preempting task with no feasible paths contributes zero reload
+    lines; pass ``strict=True`` to treat an empty path set as the
+    configuration error it usually is (typed :class:`ConfigError`).
 
     ``mumbs_mode``:
 
@@ -92,6 +110,10 @@ def approach4_lines(
     the footprint intersection and by Lee's per-point count).  See
     DESIGN.md and ``benchmarks/test_ablation_mumbs.py``.
     """
+    if strict and not preempting.path_profiles:
+        raise ConfigError(
+            f"preempting task {preempting.name!r} has no feasible paths"
+        )
     if mumbs_mode == "paper":
         return max_path_conflict(preempted.mumbs_ciip(), preempting).lines
     if mumbs_mode == "per_point":
@@ -105,4 +127,4 @@ def approach4_lines(
             result = max_path_conflict(point_ciip, preempting)
             worst = max(worst, result.lines)
         return worst
-    raise ValueError(f"unknown mumbs_mode {mumbs_mode!r}")
+    raise ConfigError(f"unknown mumbs_mode {mumbs_mode!r}")

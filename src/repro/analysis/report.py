@@ -110,6 +110,11 @@ def system_report(
         "== task system ==",
         f"{len(order)} tasks, utilisation {system.utilization:.3f}, "
         f"hyperperiod {system.hyperperiod}",
+        f"soundness: {crpd.soundness}",
+    ]
+    for event in crpd.ledger.events:
+        lines.append(f"  degraded {event.describe()}")
+    lines += [
         "",
         "[cache lines to reload per preemption]",
     ]
@@ -134,7 +139,12 @@ def system_report(
                 context_switch=context_switch,
                 stop_at_deadline=stop_at_deadline,
             )
-            verdict = "ok" if explanation.result.schedulable else "MISSES DEADLINE"
+            if explanation.result.schedulable:
+                verdict = "ok"
+            elif explanation.result.diverged:
+                verdict = "DIVERGED (no fixpoint)"
+            else:
+                verdict = "MISSES DEADLINE"
             lines.append(
                 f"    {name:10s} R={explanation.wcrt:8d}  "
                 f"(reload {explanation.total_cache_reload}, "

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+from repro.errors import ConfigError
 from repro.cache.config import CacheConfig
 from repro.cache.state import CacheState
 from repro.program.layout import ProgramLayout
@@ -58,7 +59,7 @@ def measure_wcet(
     policies as high-water marks rather than guarantees.
     """
     if not scenarios:
-        raise ValueError("at least one input scenario is required")
+        raise ConfigError("at least one input scenario is required")
     per_scenario: dict[str, int] = {}
     traces: dict[str, TraceRecorder] = {}
     for name, inputs in scenarios.items():

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+from repro.errors import ConfigError
 from repro.cache.config import CacheConfig
 
 
@@ -102,7 +103,7 @@ def conflict_bound(a: CIIP, b: CIIP) -> int:
     ``a`` that blocks of ``b`` can evict (and vice versa).
     """
     if a.config != b.config:
-        raise ValueError("CIIPs built for different cache configurations")
+        raise ConfigError("CIIPs built for different cache configurations")
     ways = a.config.ways
     shared = a.indices() & b.indices()
     return sum(min(len(a.group(r)), len(b.group(r)), ways) for r in shared)
@@ -111,7 +112,7 @@ def conflict_bound(a: CIIP, b: CIIP) -> int:
 def conflict_bound_per_set(a: CIIP, b: CIIP) -> dict[int, int]:
     """Per-cache-set breakdown of :func:`conflict_bound` (for diagnostics)."""
     if a.config != b.config:
-        raise ValueError("CIIPs built for different cache configurations")
+        raise ConfigError("CIIPs built for different cache configurations")
     ways = a.config.ways
     shared = a.indices() & b.indices()
     return {r: min(len(a.group(r)), len(b.group(r)), ways) for r in sorted(shared)}

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ConfigError
+
 
 def _is_power_of_two(value: int) -> bool:
     return value > 0 and (value & (value - 1)) == 0
@@ -51,23 +53,23 @@ class CacheConfig:
         from repro.cache.policies import POLICY_NAMES
 
         if not _is_power_of_two(self.num_sets):
-            raise ValueError(f"num_sets must be a power of two, got {self.num_sets}")
+            raise ConfigError(f"num_sets must be a power of two, got {self.num_sets}")
         if not _is_power_of_two(self.line_size):
-            raise ValueError(f"line_size must be a power of two, got {self.line_size}")
+            raise ConfigError(f"line_size must be a power of two, got {self.line_size}")
         if self.ways < 1:
-            raise ValueError(f"ways must be >= 1, got {self.ways}")
+            raise ConfigError(f"ways must be >= 1, got {self.ways}")
         if self.miss_penalty < 0:
-            raise ValueError(f"miss_penalty must be >= 0, got {self.miss_penalty}")
+            raise ConfigError(f"miss_penalty must be >= 0, got {self.miss_penalty}")
         if self.hit_cycles < 0:
-            raise ValueError(f"hit_cycles must be >= 0, got {self.hit_cycles}")
+            raise ConfigError(f"hit_cycles must be >= 0, got {self.hit_cycles}")
         if self.policy not in POLICY_NAMES:
-            raise ValueError(
+            raise ConfigError(
                 f"unknown policy {self.policy!r}; choose from {POLICY_NAMES}"
             )
         if self.policy == "plru" and not _is_power_of_two(self.ways):
-            raise ValueError("plru requires power-of-two ways")
+            raise ConfigError("plru requires power-of-two ways")
         if self.writeback_penalty is not None and self.writeback_penalty < 0:
-            raise ValueError("writeback_penalty must be >= 0")
+            raise ConfigError("writeback_penalty must be >= 0")
 
     @property
     def effective_writeback_penalty(self) -> int:
@@ -149,7 +151,7 @@ class CacheConfig:
     @staticmethod
     def _check_address(address: int) -> None:
         if address < 0:
-            raise ValueError(f"addresses must be non-negative, got {address}")
+            raise ConfigError(f"addresses must be non-negative, got {address}")
 
     # ------------------------------------------------------------------
     # Named geometries

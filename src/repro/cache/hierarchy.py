@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigError
 from repro.cache.config import CacheConfig
 from repro.cache.state import AccessResult, CacheState, CacheStats
 
@@ -40,12 +41,12 @@ class HierarchyConfig:
 
     def __post_init__(self) -> None:
         if self.l2.line_size % self.l1.line_size:
-            raise ValueError(
+            raise ConfigError(
                 f"L2 line size {self.l2.line_size} must be a multiple of "
                 f"L1 line size {self.l1.line_size}"
             )
         if self.l2.size_bytes < self.l1.size_bytes:
-            raise ValueError("L2 must be at least as large as L1")
+            raise ConfigError("L2 must be at least as large as L1")
 
     @property
     def worst_case_miss_penalty(self) -> int:

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import Protocol
 
+from repro.errors import ConfigError
+
 POLICY_NAMES = ("lru", "fifo", "plru")
 
 
@@ -121,7 +123,7 @@ class PLRUSet:
 
     def __init__(self, ways: int):
         if ways < 1 or ways & (ways - 1):
-            raise ValueError(f"plru requires power-of-two ways, got {ways}")
+            raise ConfigError(f"plru requires power-of-two ways, got {ways}")
         self._ways = ways
         self._depth = ways.bit_length() - 1
         self._slots: list[int | None] = [None] * ways
@@ -182,5 +184,5 @@ def make_set_policy(policy: str, ways: int) -> SetPolicy:
         return FIFOSet(ways)
     if policy == "plru":
         return PLRUSet(ways)
-    raise ValueError(f"unknown replacement policy {policy!r}; "
+    raise ConfigError(f"unknown replacement policy {policy!r}; "
                      f"choose from {POLICY_NAMES}")

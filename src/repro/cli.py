@@ -8,6 +8,13 @@ Commands:
 * ``analyze``   — full single-task analysis report for one workload.
 * ``crpd``      — Table II (reload-line estimates) for one experiment.
 * ``simulate``  — run the shared-cache scheduler and report ARTs.
+
+Every analysis command runs *guarded* (see ``docs/robustness.md``):
+budgets are enforced, budget trips degrade to sound conservative bounds
+recorded in a degradation ledger, and failures surface as one-line typed
+diagnostics with distinct exit codes (config=2, budget=3, divergence=4,
+simulation=5) instead of tracebacks.  ``--strict`` turns every would-be
+degradation into a hard typed failure.
 """
 
 from __future__ import annotations
@@ -31,12 +38,31 @@ def _spec_for(experiment: str):
     return EXPERIMENT_I_SPEC if experiment == "1" else EXPERIMENT_II_SPEC
 
 
+def _budget_from(args: argparse.Namespace):
+    from repro.guard.budget import AnalysisBudget
+
+    return AnalysisBudget(
+        max_paths=args.max_paths,
+        max_wcrt_iterations=args.max_iterations,
+        wall_clock_seconds=args.time_budget,
+        strict=args.strict,
+    )
+
+
+def _report_degradations(ledger) -> None:
+    """One stderr line per fallback fired, so stdout stays machine-friendly."""
+    for event in ledger.events:
+        print(f"repro: degraded {event.describe()}", file=sys.stderr)
+
+
 def cmd_tables(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.experiments import generate_all_tables
 
-    tables = generate_all_tables(include_art=not args.no_art)
+    tables = generate_all_tables(
+        include_art=not args.no_art, budget=_budget_from(args)
+    )
     wanted = set(args.only) if args.only else None
     for key, table in tables.items():
         if wanted and not any(token in key for token in wanted):
@@ -74,30 +100,49 @@ def cmd_workloads(args: argparse.Namespace) -> int:
 def cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis import analyze_task, task_report
     from repro.cache import CacheConfig
+    from repro.guard.ledger import DegradationLedger
     from repro.program import SystemLayout
     from repro.workloads import build_workload
 
     workload = build_workload(args.workload)
     config = CacheConfig.scaled_8k(miss_penalty=args.penalty)
     layout = SystemLayout().place(workload.program)
-    art = analyze_task(layout, workload.scenario_map(), config)
+    ledger = DegradationLedger()
+    art = analyze_task(
+        layout,
+        workload.scenario_map(),
+        config,
+        budget=_budget_from(args),
+        ledger=ledger,
+    )
     print(f"workload {args.workload!r}: {workload.description}\n")
     print(task_report(art, include_reuse=args.reuse))
+    print(f"\nsoundness: {ledger.soundness}")
+    _report_degradations(ledger)
     return 0
 
 
 def cmd_crpd(args: argparse.Namespace) -> int:
     from repro.experiments import build_context, table2_cache_lines
 
-    context = build_context(_spec_for(args.experiment), miss_penalty=args.penalty)
+    context = build_context(
+        _spec_for(args.experiment),
+        miss_penalty=args.penalty,
+        budget=_budget_from(args),
+    )
     print(table2_cache_lines(context).render())
+    _report_degradations(context.ledger)
     return 0
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.experiments import build_context
 
-    context = build_context(_spec_for(args.experiment), miss_penalty=args.penalty)
+    context = build_context(
+        _spec_for(args.experiment),
+        miss_penalty=args.penalty,
+        budget=_budget_from(args),
+    )
     horizon = args.horizon or 2 * context.system.hyperperiod
     result = context.simulate(horizon)
     print(f"{context.spec.title}: simulated {result.end_time} cycles, "
@@ -112,6 +157,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if args.events:
         for event in result.events[: args.events]:
             print(f"  {event}")
+    _report_degradations(context.ledger)
     return 0
 
 
@@ -130,7 +176,9 @@ def cmd_report(args: argparse.Namespace) -> int:
         "## Tables",
         "",
     ]
-    for table in generate_all_tables(include_art=not args.no_art).values():
+    for table in generate_all_tables(
+        include_art=not args.no_art, budget=_budget_from(args)
+    ).values():
         sections.append("```")
         sections.append(table.render())
         sections.append("```")
@@ -167,6 +215,23 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="CRPD-aware WCRT analysis (Tan & Mooney, DATE 2004 "
         "reproduction)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail with a typed error instead of degrading to a "
+        "conservative bound when an analysis budget trips",
+    )
+    parser.add_argument(
+        "--max-paths", type=int, default=4096, metavar="N",
+        help="feasible-path enumeration budget per task (default: 4096)",
+    )
+    parser.add_argument(
+        "--max-iterations", type=int, default=1000, metavar="N",
+        help="WCRT fixpoint iteration budget (default: 1000)",
+    )
+    parser.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the whole analysis (default: none)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -235,9 +300,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Parse and dispatch; typed errors become one-line stderr diagnostics.
+
+    Exit codes: 0 success, 1 unclassified :class:`ReproError`, 2 config,
+    3 budget, 4 divergence, 5 simulation (see :mod:`repro.errors`).
+    """
+    from repro.errors import ReproError, error_kind
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"repro: {error_kind(error)} error: {error}", file=sys.stderr)
+        return error.exit_code
 
 
 if __name__ == "__main__":

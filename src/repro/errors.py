@@ -1,0 +1,106 @@
+"""Structured error taxonomy for the whole analysis pipeline.
+
+Every failure mode the analyzer can hit maps onto one of four branches
+under a common :class:`ReproError` root, so callers (and the CLI) can
+distinguish *bad input* from *blown budget* from *non-converging math*
+from *simulation trouble* without string-matching messages:
+
+* :class:`ConfigError` — invalid input or configuration (bad cache
+  geometry, inconsistent task set, degenerate program).  Also a
+  :class:`ValueError`, so pre-taxonomy callers keep working.
+* :class:`BudgetExceeded` — an :class:`~repro.guard.budget.AnalysisBudget`
+  limit tripped and no sound fallback was available (or strict mode
+  forbade degrading).  :class:`PathExplosionError` is the path-enumeration
+  instance of this.
+* :class:`DivergenceError` — the WCRT fixpoint iteration exhausted its
+  iteration budget without converging (typically utilization > 1).
+* :class:`SimulationError` — the cycle-level scheduler simulation could
+  not complete (step/event budget exhausted, runaway job).
+
+Each class carries an ``exit_code`` used by the CLI so scripts can branch
+on the failure kind.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of the analyzer's error taxonomy.
+
+    ``exit_code`` is the process exit status the CLI uses for this class
+    of failure (distinct per branch, all nonzero).
+    """
+
+    exit_code = 1
+
+
+class ConfigError(ReproError, ValueError):
+    """Invalid input or configuration (bad geometry, empty task set, ...).
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    call sites and tests continue to work.
+    """
+
+    exit_code = 2
+
+
+class BudgetExceeded(ReproError, RuntimeError):
+    """An explicit analysis budget was exhausted.
+
+    Raised only when degrading is impossible (e.g. the WCET measurement
+    itself blew its wall-clock budget) or when strict mode turns a
+    would-be sound degradation into a hard failure.
+
+    Attributes:
+        budget: name of the budget axis that tripped (``"max_paths"``,
+            ``"wall_clock_seconds"``, ``"max_wcrt_iterations"``, ...).
+        stage: pipeline stage where it tripped (``"paths:ed"``, ...).
+    """
+
+    exit_code = 3
+
+    def __init__(self, message: str, *, budget: str = "", stage: str = ""):
+        super().__init__(message)
+        self.budget = budget
+        self.stage = stage
+
+
+class PathExplosionError(BudgetExceeded):
+    """Feasible-path enumeration exceeded the configured path limit."""
+
+    def __init__(self, message: str, *, stage: str = ""):
+        super().__init__(message, budget="max_paths", stage=stage)
+
+
+class DivergenceError(ReproError, RuntimeError):
+    """The response-time recurrence did not converge within its budget."""
+
+    exit_code = 4
+
+    def __init__(self, message: str, *, task: str = ""):
+        super().__init__(message)
+        self.task = task
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The scheduler simulation could not run to completion."""
+
+    exit_code = 5
+
+
+#: kind tags keyed by the taxonomy branch (first ReproError ancestor).
+_KIND_NAMES = {
+    ReproError: "error",
+    ConfigError: "config",
+    BudgetExceeded: "budget",
+    DivergenceError: "divergence",
+    SimulationError: "simulation",
+}
+
+
+def error_kind(error: ReproError) -> str:
+    """The taxonomy branch an error belongs to, as a short tag."""
+    for klass in type(error).__mro__:
+        if klass in _KIND_NAMES and klass is not ReproError:
+            return _KIND_NAMES[klass]
+    return "error"

@@ -26,6 +26,8 @@ from repro.analysis.artifacts import TaskArtifacts, analyze_task
 from repro.analysis.crpd import CRPDAnalyzer
 from repro.cache.config import CacheConfig
 from repro.cache.state import CacheState
+from repro.guard.budget import AnalysisBudget
+from repro.guard.ledger import DegradationLedger
 from repro.program.layout import ProgramLayout, SystemLayout
 from repro.sched.simulator import SimulationResult, Simulator, TaskBinding
 from repro.wcrt.task import TaskSpec, TaskSystem
@@ -105,11 +107,18 @@ class ExperimentContext:
     artifacts: dict[str, TaskArtifacts]
     crpd: CRPDAnalyzer
     system: TaskSystem
+    budget: AnalysisBudget | None = None
+    ledger: DegradationLedger = field(default_factory=DegradationLedger)
     _art_cache: dict[int, SimulationResult] = field(default_factory=dict)
 
     @property
     def priority_order(self) -> tuple[str, ...]:
         return self.spec.priority_order
+
+    @property
+    def soundness(self) -> str:
+        """``"exact"`` unless any analysis stage degraded conservatively."""
+        return self.ledger.soundness
 
     def bindings(self) -> list[TaskBinding]:
         """Simulator bindings, driving each task with its WCET scenario."""
@@ -137,7 +146,7 @@ class ExperimentContext:
                 cache=CacheState(self.config),
                 context_switch_cycles=self.spec.context_switch_cycles,
             )
-            self._art_cache[key] = simulator.run(horizon)
+            self._art_cache[key] = simulator.run(horizon, budget=self.budget)
         return self._art_cache[key]
 
 
@@ -145,20 +154,32 @@ def build_context(
     spec: ExperimentSpec,
     miss_penalty: int = 20,
     cache: CacheConfig | None = None,
+    budget: AnalysisBudget | None = None,
 ) -> ExperimentContext:
     """Build, place and analyse one experiment's task set.
 
     Pass ``cache`` to override the default scaled 16KB geometry (the miss
-    penalty of an explicit cache config wins over *miss_penalty*).
+    penalty of an explicit cache config wins over *miss_penalty*).  With
+    a *budget* the whole analysis runs guarded: every stage shares one
+    wall clock and writes degradations into the context's ledger.
     """
     config = cache if cache is not None else CacheConfig.scaled_8k(miss_penalty)
+    ledger = DegradationLedger()
+    clock = budget.start() if budget is not None else None
     workloads = {name: build() for name, build in spec.builders.items()}
     layout = SystemLayout(stride=spec.stride)
     for name in spec.placement_order:
         layout.place(workloads[name].program)
     layouts = {name: layout.layout_of(name) for name in spec.priority_order}
     artifacts = {
-        name: analyze_task(layouts[name], workloads[name].scenario_map(), config)
+        name: analyze_task(
+            layouts[name],
+            workloads[name].scenario_map(),
+            config,
+            budget=budget,
+            ledger=ledger,
+            clock=clock,
+        )
         for name in spec.priority_order
     }
     priorities = spec.priorities()
@@ -179,6 +200,14 @@ def build_context(
         artifacts=artifacts,
         # Definition 4 verbatim, as the paper's tables use it.  The sound
         # per_point variant is compared in the MUMBS ablation bench.
-        crpd=CRPDAnalyzer(artifacts, mumbs_mode="paper"),
+        crpd=CRPDAnalyzer(
+            artifacts,
+            mumbs_mode="paper",
+            budget=budget,
+            ledger=ledger,
+            clock=clock,
+        ),
         system=TaskSystem(tasks=tasks),
+        budget=budget,
+        ledger=ledger,
     )

@@ -21,6 +21,7 @@ from repro.experiments.setup import (
     ExperimentSpec,
     build_context,
 )
+from repro.guard.budget import AnalysisBudget
 from repro.wcrt.response_time import SystemWCRT, compute_system_wcrt
 
 _APPROACH_HEADERS = ["App. 1", "App. 2", "App. 3", "App. 4"]
@@ -33,12 +34,15 @@ class ExperimentSuite:
     spec: ExperimentSpec
     penalties: tuple[int, ...] = MISS_PENALTIES
     horizon: int | None = None
+    budget: AnalysisBudget | None = None
     _contexts: dict[int, ExperimentContext] = field(default_factory=dict)
     _wcrt: dict[tuple[int, Approach], SystemWCRT] = field(default_factory=dict)
 
     def context(self, penalty: int) -> ExperimentContext:
         if penalty not in self._contexts:
-            self._contexts[penalty] = build_context(self.spec, miss_penalty=penalty)
+            self._contexts[penalty] = build_context(
+                self.spec, miss_penalty=penalty, budget=self.budget
+            )
         return self._contexts[penalty]
 
     def wcrt(self, penalty: int, approach: Approach) -> SystemWCRT:
@@ -49,13 +53,23 @@ class ExperimentSuite:
             def cpre(preempted: str, preempting: str) -> int:
                 return context.crpd.cpre(preempted, preempting, approach)
 
+            # Sharing the context ledger propagates CRPD degradations into
+            # the SystemWCRT soundness tag alongside any divergence entries.
             self._wcrt[key] = compute_system_wcrt(
                 context.system,
                 cpre=cpre,
                 context_switch=context.spec.context_switch_cycles,
                 stop_at_deadline=False,
+                budget=self.budget,
+                ledger=context.ledger,
             )
         return self._wcrt[key]
+
+    def soundness(self) -> str:
+        """Worst soundness across every context analysed so far."""
+        if any(c.ledger.degraded for c in self._contexts.values()):
+            return "conservative"
+        return "exact"
 
     def art(self, penalty: int) -> dict[str, int]:
         """Actual response time per task from the shared-cache simulation."""
@@ -123,6 +137,10 @@ def table2_cache_lines(context: ExperimentContext) -> Table:
                 f"{preempted.upper()} by {preempting.upper()}",
                 *[estimate.lines[a] for a in Approach],
             )
+    # Estimates are computed lazily by the rows above, so the ledger is
+    # only complete once they exist — append the soundness notes last.
+    table.notes.append(f"soundness: {context.soundness}")
+    table.notes.extend(event.describe() for event in context.ledger.events)
     return table
 
 
@@ -147,6 +165,7 @@ def table_wcrt(suite: ExperimentSuite, include_art: bool = True) -> Table:
             if include_art:
                 row.append(art[task])
             table.add_row(*row)
+    table.notes.append(f"soundness: {suite.soundness()}")
     return table
 
 
@@ -177,10 +196,13 @@ def generate_all_tables(
     penalties: tuple[int, ...] = MISS_PENALTIES,
     horizon: int | None = None,
     include_art: bool = True,
+    budget: AnalysisBudget | None = None,
 ) -> dict[str, Table]:
     """Regenerate every table of the paper; keys 'table1' .. 'table6'."""
     suites = {
-        spec.key: ExperimentSuite(spec, penalties=penalties, horizon=horizon)
+        spec.key: ExperimentSuite(
+            spec, penalties=penalties, horizon=horizon, budget=budget
+        )
         for spec in ALL_SPECS
     }
     contexts = {key: suite.context(20) for key, suite in suites.items()}

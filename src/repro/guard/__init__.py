@@ -1,0 +1,34 @@
+"""Guard layer: budgets, degradation ledgers and the guarded pipeline.
+
+See ``docs/robustness.md`` for the budget model, the degradation ladder
+(Eq. 4 → MUMBS∩CIIP → |MUMBS|) and the error taxonomy this layer reports
+through.
+"""
+
+from repro.guard.budget import AnalysisBudget, BudgetClock
+from repro.guard.ledger import (
+    SOUNDNESS_CONSERVATIVE,
+    SOUNDNESS_EXACT,
+    DegradationEvent,
+    DegradationLedger,
+)
+__all__ = [
+    "AnalysisBudget",
+    "BudgetClock",
+    "SOUNDNESS_CONSERVATIVE",
+    "SOUNDNESS_EXACT",
+    "DegradationEvent",
+    "DegradationLedger",
+    "GuardedPipeline",
+]
+
+
+def __getattr__(name: str):
+    # GuardedPipeline pulls in the analysis and wcrt layers, which
+    # themselves import guard.budget/guard.ledger — importing it lazily
+    # keeps this package importable from anywhere in that chain.
+    if name == "GuardedPipeline":
+        from repro.guard.pipeline import GuardedPipeline
+
+        return GuardedPipeline
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,88 @@
+"""Degradation ledger: an auditable record of every fallback that fired.
+
+A guarded analysis never silently weakens a result.  Whenever a budget
+trips and a stage substitutes a sound over-approximation for the exact
+computation (the degradation ladder: Eq. 4 path cost → MUMBS∩CIIP → |MUMBS|
+capped per set), it records a :class:`DegradationEvent` naming the stage,
+the tripped budget, the reason and the fallback used.  The ledger's
+:attr:`~DegradationLedger.soundness` tag — ``"exact"`` when empty,
+``"conservative"`` otherwise — propagates into
+:class:`~repro.wcrt.response_time.SystemWCRT`, tables, reports and the
+CLI so consumers always know which kind of bound they are holding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+SOUNDNESS_EXACT = "exact"
+SOUNDNESS_CONSERVATIVE = "conservative"
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One fallback firing: where, which budget, why, and what replaced it."""
+
+    stage: str  # pipeline stage, e.g. "paths:ed" or "crpd:ofdm<-mr"
+    budget: str  # tripped budget axis, e.g. "max_paths"
+    reason: str  # human-readable explanation
+    fallback: str  # what was used instead, e.g. "mumbs_ciip"
+
+    def describe(self) -> str:
+        return (
+            f"[{self.stage}] {self.budget} tripped: {self.reason} "
+            f"-> fallback {self.fallback}"
+        )
+
+
+@dataclass
+class DegradationLedger:
+    """Accumulates :class:`DegradationEvent` records across a pipeline run."""
+
+    events: list[DegradationEvent] = field(default_factory=list)
+
+    def record(
+        self, stage: str, budget: str, reason: str, fallback: str
+    ) -> DegradationEvent:
+        event = DegradationEvent(
+            stage=stage, budget=budget, reason=reason, fallback=fallback
+        )
+        self.events.append(event)
+        return event
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.events)
+
+    @property
+    def soundness(self) -> str:
+        """``"exact"`` when no fallback fired, else ``"conservative"``.
+
+        Conservative results are still *sound*: every recorded fallback is
+        an over-approximation of the exact quantity it replaced.
+        """
+        return SOUNDNESS_CONSERVATIVE if self.events else SOUNDNESS_EXACT
+
+    def merge(self, other: "DegradationLedger") -> "DegradationLedger":
+        """Append *other*'s events to this ledger (returns self)."""
+        self.events.extend(other.events)
+        return self
+
+    def for_stage(self, prefix: str) -> list[DegradationEvent]:
+        """Events whose stage matches *prefix* exactly or as a ``:`` prefix."""
+        return [
+            event
+            for event in self.events
+            if event.stage == prefix or event.stage.startswith(prefix + ":")
+        ]
+
+    def tripped_budgets(self) -> frozenset[str]:
+        """The budget axes that fired at least once."""
+        return frozenset(event.budget for event in self.events)
+
+    def describe(self) -> str:
+        if not self.events:
+            return "exact: no degradations"
+        lines = [f"conservative: {len(self.events)} degradation(s)"]
+        lines.extend("  " + event.describe() for event in self.events)
+        return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Guarded end-to-end analysis: one budget, one ledger, one clock.
+
+:class:`GuardedPipeline` is the front door for running the whole
+program → analysis → CRPD → WCRT chain under a single
+:class:`~repro.guard.budget.AnalysisBudget`: every stage shares the same
+wall-clock countdown and writes its degradations into the same
+:class:`~repro.guard.ledger.DegradationLedger`, so the final
+:class:`~repro.wcrt.response_time.SystemWCRT` carries the complete audit
+trail.  The invariant the fault-injection suite enforces: a guarded
+pipeline either returns a sound bound (tagged ``exact`` or
+``conservative``) or raises a typed :class:`~repro.errors.ReproError` —
+never a bare traceback, never an unsound number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.artifacts import TaskArtifacts, analyze_task
+from repro.analysis.crpd import Approach, CRPDAnalyzer
+from repro.analysis.wcet import Scenarios
+from repro.cache.config import CacheConfig
+from repro.errors import ConfigError
+from repro.guard.budget import AnalysisBudget, BudgetClock
+from repro.guard.ledger import DegradationLedger
+from repro.program.layout import ProgramLayout
+from repro.wcrt.response_time import SystemWCRT, compute_system_wcrt
+from repro.wcrt.task import TaskSystem
+
+
+@dataclass
+class GuardedPipeline:
+    """Runs every analysis stage under one shared budget, ledger and clock.
+
+    Typical use::
+
+        pipeline = GuardedPipeline(config, AnalysisBudget(max_paths=256))
+        pipeline.analyze("ed", ed_layout, ed_scenarios)
+        pipeline.analyze("mr", mr_layout, mr_scenarios)
+        wcrt = pipeline.system_wcrt(system, context_switch=1049)
+        wcrt.soundness        # "exact" or "conservative"
+        wcrt.ledger.describe()  # which budgets tripped, where, and why
+    """
+
+    config: CacheConfig
+    budget: AnalysisBudget = field(default_factory=AnalysisBudget)
+    ledger: DegradationLedger = field(default_factory=DegradationLedger)
+    mumbs_mode: str = "per_point"
+    artifacts: dict[str, TaskArtifacts] = field(default_factory=dict)
+    _clock: BudgetClock | None = None
+    _crpd: CRPDAnalyzer | None = None
+
+    @property
+    def clock(self) -> BudgetClock:
+        """The shared wall-clock countdown (started on first use)."""
+        if self._clock is None:
+            self._clock = self.budget.start()
+        return self._clock
+
+    def analyze(
+        self, name: str, layout: ProgramLayout, scenarios: Scenarios
+    ) -> TaskArtifacts:
+        """Guarded :func:`~repro.analysis.artifacts.analyze_task` for one task."""
+        artifacts = analyze_task(
+            layout,
+            scenarios,
+            self.config,
+            budget=self.budget,
+            ledger=self.ledger,
+            clock=self.clock,
+        )
+        self.artifacts[name] = artifacts
+        self._crpd = None  # artifacts changed; rebuild on next access
+        return artifacts
+
+    @property
+    def crpd(self) -> CRPDAnalyzer:
+        """The CRPD analyzer over every task analysed so far."""
+        if not self.artifacts:
+            raise ConfigError("no tasks analysed yet; call analyze() first")
+        if self._crpd is None:
+            self._crpd = CRPDAnalyzer(
+                self.artifacts,
+                mumbs_mode=self.mumbs_mode,
+                budget=self.budget,
+                ledger=self.ledger,
+                clock=self.clock,
+            )
+        return self._crpd
+
+    def system_wcrt(
+        self,
+        system: TaskSystem,
+        approach: Approach = Approach.COMBINED,
+        context_switch: int = 0,
+        stop_at_deadline: bool = True,
+    ) -> SystemWCRT:
+        """Equation 7 under the shared budget; ledger rides on the result."""
+        crpd = self.crpd
+
+        def cpre(preempted: str, preempting: str) -> int:
+            return crpd.cpre(preempted, preempting, approach)
+
+        return compute_system_wcrt(
+            system,
+            cpre=cpre,
+            context_switch=context_switch,
+            stop_at_deadline=stop_at_deadline,
+            budget=self.budget,
+            ledger=self.ledger,
+        )
+
+    @property
+    def soundness(self) -> str:
+        return self.ledger.soundness

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigError
 from repro.program.instructions import (
     Branch,
     Halt,
@@ -20,7 +21,7 @@ from repro.program.instructions import (
 )
 
 
-class CFGError(ValueError):
+class CFGError(ConfigError):
     """Raised when a control-flow graph is malformed."""
 
 

@@ -12,11 +12,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigError
 from repro.program.builder import ArrayDecl, Program
 from repro.program.instructions import INSTRUCTION_SIZE
 
 
-class LayoutError(ValueError):
+class LayoutError(ConfigError):
     """Raised for invalid layout requests."""
 
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+from repro.errors import PathExplosionError
 from repro.program.builder import (
     IfElseNode,
     LeafNode,
@@ -23,9 +24,14 @@ from repro.program.builder import (
     StructureNode,
 )
 
-
-class PathExplosionError(RuntimeError):
-    """Raised when a program has more feasible paths than the given limit."""
+__all__ = [
+    "PathExplosionError",
+    "PathProfile",
+    "Segment",
+    "enumerate_path_profiles",
+    "path_footprint",
+    "sfp_prs_segments",
+]
 
 
 @dataclass(frozen=True)

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ConfigError
 from repro.sched.events import EventKind, SchedulerEvent
 
 #: Glyphs used in the timeline rows.
@@ -78,7 +79,7 @@ def render_gantt(
     had a released-but-waiting job.
     """
     if until <= 0 or width <= 0:
-        raise ValueError("until and width must be positive")
+        raise ConfigError("until and width must be positive")
     scale = max(1, until // width)
     columns = (until + scale - 1) // scale
     rows = {task: [GLYPH_IDLE] * columns for task in tasks}

@@ -13,12 +13,17 @@ include cache reload misses — these are the paper's Actual Response Times
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.cache.state import CacheState
+from repro.errors import ConfigError, SimulationError
 from repro.program.layout import ProgramLayout
 from repro.sched.events import EventKind, JobRecord, SchedulerEvent
 from repro.vm.machine import Machine
 from repro.wcrt.task import TaskSpec, TaskSystem
+
+if TYPE_CHECKING:
+    from repro.guard.budget import AnalysisBudget
 
 
 @dataclass
@@ -37,7 +42,7 @@ class TaskBinding:
 
     def __post_init__(self) -> None:
         if self.offset < 0:
-            raise ValueError(f"{self.spec.name}: offset must be >= 0")
+            raise ConfigError(f"{self.spec.name}: offset must be >= 0")
 
 
 @dataclass
@@ -75,7 +80,7 @@ class SimulationResult:
         """ART: the maximum observed response time of *task*."""
         times = self.response_times(task)
         if not times:
-            raise ValueError(f"task {task!r} completed no jobs")
+            raise ConfigError(f"task {task!r} completed no jobs")
         return max(times)
 
     def deadline_misses(self) -> list[JobRecord]:
@@ -105,30 +110,49 @@ class Simulator:
         context_switch_cycles: int = 0,
     ):
         if not bindings:
-            raise ValueError("no tasks to simulate")
+            raise ConfigError("no tasks to simulate")
         names = [binding.spec.name for binding in bindings]
         if len(set(names)) != len(names):
-            raise ValueError(f"duplicate task names: {names}")
+            raise ConfigError(f"duplicate task names: {names}")
         self.bindings = {binding.spec.name: binding for binding in bindings}
         self.system = TaskSystem(tasks=[binding.spec for binding in bindings])
         self.cache = cache
         self.ccs = context_switch_cycles
         if self.ccs < 0:
-            raise ValueError("context_switch_cycles must be >= 0")
+            raise ConfigError("context_switch_cycles must be >= 0")
         # Per-task data memory persists across jobs, like static task data.
         self._memories: dict[str, dict[int, int]] = {name: {} for name in names}
 
     # ------------------------------------------------------------------
-    def run(self, horizon: int, max_steps: int = 50_000_000) -> SimulationResult:
+    def run(
+        self,
+        horizon: int,
+        max_steps: int = 50_000_000,
+        max_events: int | None = None,
+        budget: "AnalysisBudget | None" = None,
+    ) -> SimulationResult:
         """Simulate from t=0 (the critical instant when offsets are zero).
 
         Jobs are released every period (phased by each binding's offset)
         until *horizon*; the run continues past the horizon only to drain
         jobs already released.  Returns the job records, the event stream
         and the end time.
+
+        ``max_steps`` and ``max_events`` bound the simulation; exceeding
+        either raises a typed :class:`SimulationError` (measurement has no
+        sound partial substitute).  A *budget* supplies both caps from its
+        ``max_sim_steps`` / ``max_sim_events`` axes.
         """
         if horizon <= 0:
-            raise ValueError("horizon must be positive")
+            raise ConfigError("horizon must be positive")
+        if budget is not None:
+            max_steps = min(max_steps, budget.max_sim_steps)
+            if budget.max_sim_events is not None:
+                max_events = (
+                    budget.max_sim_events
+                    if max_events is None
+                    else min(max_events, budget.max_sim_events)
+                )
         time = 0
         steps = 0
         events: list[SchedulerEvent] = []
@@ -215,8 +239,13 @@ class Simulator:
                 time += result.cycles
                 steps += 1
                 if steps > max_steps:
-                    raise RuntimeError(
+                    raise SimulationError(
                         f"simulation exceeded {max_steps} steps at t={time}"
+                    )
+                if max_events is not None and len(events) > max_events:
+                    raise SimulationError(
+                        f"simulation exceeded {max_events} scheduler events "
+                        f"at t={time}"
                     )
                 if result.halted:
                     spec = self.bindings[running.task].spec

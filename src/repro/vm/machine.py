@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.cache.state import CacheState
+from repro.errors import SimulationError
 from repro.program.builder import ArrayDecl, Program
 from repro.program.cfg import BasicBlock
 from repro.program.instructions import (
@@ -35,7 +36,7 @@ from repro.program.layout import ProgramLayout
 from repro.vm.trace import TraceRecorder
 
 
-class VMError(RuntimeError):
+class VMError(SimulationError):
     """Raised on runtime errors: unset registers, bad addresses, etc."""
 
 

@@ -10,16 +10,27 @@ two context switches (``Ccs`` each) per preemption::
     Ri = Ci + sum over j in hp(i) of
               ceil(Ri / Pj) * (Cj + Cpre(Ti, Tj) + 2 * Ccs)        (Eq. 7)
 
-The iteration starts at ``Ri = Ci`` and terminates on convergence or once
-``Ri`` exceeds the task's deadline (the task is then unschedulable).
+The iteration starts at ``Ri = Ci`` and terminates on convergence, once
+``Ri`` exceeds the task's deadline (the task is then unschedulable), or —
+distinguishably — when the iteration budget runs out without either
+happening (:attr:`WCRTResult.diverged`; typically utilization > 1).  The
+divergent case is reported *unschedulable*, which is always a sound
+verdict, and recorded as a ``DivergenceError`` entry in the supplied
+:class:`~repro.guard.ledger.DegradationLedger`; strict budgets raise
+:class:`~repro.errors.DivergenceError` instead.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
+from repro.errors import DivergenceError
+from repro.guard.ledger import DegradationLedger
 from repro.wcrt.task import TaskSpec, TaskSystem
+
+if TYPE_CHECKING:
+    from repro.guard.budget import AnalysisBudget
 
 #: Cache reload cost callback: (preempted name, preempting name) -> cycles.
 CpreFunction = Callable[[str, str], int]
@@ -38,24 +49,51 @@ def zero_cpre(_preempted: str, _preempting: str) -> int:
 
 @dataclass
 class WCRTResult:
-    """Outcome of the response-time iteration for one task."""
+    """Outcome of the response-time iteration for one task.
+
+    Exactly one of three terminal states holds:
+
+    * ``converged`` — the recurrence reached its fixpoint; ``wcrt`` is exact.
+    * ``deadline_stopped`` — the response crossed the deadline and
+      ``stop_at_deadline`` cut the iteration short; ``wcrt`` is a valid
+      lower bound that already proves unschedulability.
+    * ``diverged`` — the iteration budget ran out with the recurrence
+      still climbing; the task is reported unschedulable (sound).
+    """
 
     task: TaskSpec
     wcrt: int
     converged: bool
     schedulable: bool
     iterations: list[int] = field(default_factory=list)
+    deadline_stopped: bool = False
+    diverged: bool = False
 
     @property
     def iteration_count(self) -> int:
         return len(self.iterations)
 
+    @property
+    def status(self) -> str:
+        """``"converged"``, ``"deadline_overrun"`` or ``"diverged"``."""
+        if self.converged:
+            return "converged"
+        if self.deadline_stopped:
+            return "deadline_overrun"
+        return "diverged"
+
 
 @dataclass
 class SystemWCRT:
-    """Per-task WCRT results for a whole task system."""
+    """Per-task WCRT results for a whole task system.
+
+    ``ledger`` collects every degradation the analysis behind these
+    numbers performed (CRPD fallbacks, divergence verdicts);
+    :attr:`soundness` summarises it for tables, reports and the CLI.
+    """
 
     results: dict[str, WCRTResult]
+    ledger: DegradationLedger = field(default_factory=DegradationLedger)
 
     def wcrt(self, name: str) -> int:
         return self.results[name].wcrt
@@ -64,10 +102,19 @@ class SystemWCRT:
     def schedulable(self) -> bool:
         return all(result.schedulable for result in self.results.values())
 
+    @property
+    def soundness(self) -> str:
+        """``"exact"`` when every number is exact, else ``"conservative"``."""
+        return self.ledger.soundness
+
     def unschedulable_tasks(self) -> list[str]:
         return [
             name for name, result in self.results.items() if not result.schedulable
         ]
+
+    def diverged_tasks(self) -> list[str]:
+        """Tasks whose iteration exhausted its budget without converging."""
+        return [name for name, result in self.results.items() if result.diverged]
 
 
 def compute_task_wcrt(
@@ -77,6 +124,8 @@ def compute_task_wcrt(
     context_switch: int = 0,
     max_iterations: int = 1000,
     stop_at_deadline: bool = True,
+    budget: "AnalysisBudget | None" = None,
+    ledger: DegradationLedger | None = None,
 ) -> WCRTResult:
     """Iterate Equation 7 for one task until fixpoint or deadline overrun.
 
@@ -94,10 +143,17 @@ def compute_task_wcrt(
     iterating to the true fixpoint even past the deadline, which is how the
     paper's tables report WCRT values far above the period (e.g. Approach 1
     at Cmiss=40 in Table V).
+
+    *budget* caps the iteration count (``max_wcrt_iterations``) and, in
+    strict mode, turns iteration exhaustion into a raised
+    :class:`DivergenceError`; otherwise exhaustion yields a sound
+    ``diverged`` result and a ledger entry.
     """
     task = system.task(name)
     interferers = system.higher_priority(name)
     deadline = task.effective_deadline
+    if budget is not None:
+        max_iterations = min(max_iterations, budget.max_wcrt_iterations)
 
     def interference(window: int) -> int:
         total = 0
@@ -114,6 +170,7 @@ def compute_task_wcrt(
     window = task.wcet
     history = [window + task.jitter]
     converged = False
+    deadline_stopped = False
     for _ in range(max_iterations):
         updated = task.wcet + interference(window)
         if updated == window:
@@ -122,7 +179,24 @@ def compute_task_wcrt(
         window = updated
         history.append(window + task.jitter)
         if stop_at_deadline and window + task.jitter > deadline:
+            deadline_stopped = True
             break
+    diverged = not converged and not deadline_stopped
+    if diverged:
+        message = (
+            f"WCRT recurrence for {task.name!r} did not converge within "
+            f"{max_iterations} iteration(s); last response "
+            f"{window + task.jitter} (utilization {system.utilization:.3f})"
+        )
+        if budget is not None and budget.strict:
+            raise DivergenceError(message, task=task.name)
+        if ledger is not None:
+            ledger.record(
+                stage=f"wcrt:{task.name}",
+                budget="max_wcrt_iterations",
+                reason=f"DivergenceError: {message}",
+                fallback="reported unschedulable (converged=False, diverged=True)",
+            )
     response = window + task.jitter
     return WCRTResult(
         task=task,
@@ -130,6 +204,8 @@ def compute_task_wcrt(
         converged=converged,
         schedulable=converged and response <= deadline,
         iterations=history,
+        deadline_stopped=deadline_stopped,
+        diverged=diverged,
     )
 
 
@@ -139,8 +215,19 @@ def compute_system_wcrt(
     context_switch: int = 0,
     max_iterations: int = 1000,
     stop_at_deadline: bool = True,
+    budget: "AnalysisBudget | None" = None,
+    ledger: DegradationLedger | None = None,
 ) -> SystemWCRT:
-    """Equation 7 for every task; the highest-priority task's WCRT = WCET."""
+    """Equation 7 for every task; the highest-priority task's WCRT = WCET.
+
+    The returned :class:`SystemWCRT` carries the degradation ledger (the
+    one given, or a fresh one) so its :attr:`~SystemWCRT.soundness` tag
+    reflects everything that happened while producing these numbers —
+    pass the ledger of the :class:`~repro.analysis.crpd.CRPDAnalyzer`
+    feeding ``cpre`` to propagate CRPD degradations too.
+    """
+    if ledger is None:
+        ledger = DegradationLedger()
     results = {
         task.name: compute_task_wcrt(
             system,
@@ -149,10 +236,12 @@ def compute_system_wcrt(
             context_switch=context_switch,
             max_iterations=max_iterations,
             stop_at_deadline=stop_at_deadline,
+            budget=budget,
+            ledger=ledger,
         )
         for task in system.tasks
     }
-    return SystemWCRT(results=results)
+    return SystemWCRT(results=results, ledger=ledger)
 
 
 def dispatch_blocking_bound(config, context_switch: int = 0) -> int:

@@ -10,6 +10,8 @@ everything; OFDM/ADPCMC carry priority 4 and are preempted by everything).
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.errors import ConfigError
 from math import gcd
 
 
@@ -33,19 +35,19 @@ class TaskSpec:
 
     def __post_init__(self) -> None:
         if self.wcet <= 0:
-            raise ValueError(f"{self.name}: wcet must be positive, got {self.wcet}")
+            raise ConfigError(f"{self.name}: wcet must be positive, got {self.wcet}")
         if self.period <= 0:
-            raise ValueError(f"{self.name}: period must be positive")
+            raise ConfigError(f"{self.name}: period must be positive")
         if self.deadline is not None and self.deadline <= 0:
-            raise ValueError(f"{self.name}: deadline must be positive")
+            raise ConfigError(f"{self.name}: deadline must be positive")
         if self.jitter < 0:
-            raise ValueError(f"{self.name}: jitter must be >= 0")
+            raise ConfigError(f"{self.name}: jitter must be >= 0")
         if self.jitter >= self.period:
-            raise ValueError(
+            raise ConfigError(
                 f"{self.name}: jitter {self.jitter} must be below the period"
             )
         if self.wcet + self.jitter > self.effective_deadline:
-            raise ValueError(
+            raise ConfigError(
                 f"{self.name}: wcet {self.wcet} + jitter {self.jitter} exceeds "
                 f"deadline {self.effective_deadline}; trivially unschedulable"
             )
@@ -68,13 +70,13 @@ class TaskSystem:
 
     def __post_init__(self) -> None:
         if not self.tasks:
-            raise ValueError("a task system needs at least one task")
+            raise ConfigError("a task system needs at least one task")
         names = [task.name for task in self.tasks]
         if len(set(names)) != len(names):
-            raise ValueError(f"duplicate task names: {names}")
+            raise ConfigError(f"duplicate task names: {names}")
         priorities = [task.priority for task in self.tasks]
         if len(set(priorities)) != len(priorities):
-            raise ValueError(f"duplicate priorities: {priorities}")
+            raise ConfigError(f"duplicate priorities: {priorities}")
         # Keep tasks ordered highest priority (smallest number) first.
         self.tasks.sort(key=lambda task: task.priority)
 

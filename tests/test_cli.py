@@ -69,3 +69,37 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "ART" in out
         assert "release" in out
+
+
+class TestGuardedCLI:
+    """Budget flags, soundness tagging and typed one-line failures."""
+
+    def test_analyze_reports_exact_soundness(self, capsys):
+        assert main(["analyze", "ed"]) == 0
+        captured = capsys.readouterr()
+        assert "soundness: exact" in captured.out
+        assert captured.err == ""
+
+    def test_tiny_path_budget_degrades_not_fails(self, capsys):
+        assert main(["--max-paths", "1", "analyze", "ed"]) == 0
+        captured = capsys.readouterr()
+        assert "soundness: conservative" in captured.out
+        assert "repro: degraded [paths:ed] max_paths tripped" in captured.err
+
+    def test_strict_budget_is_a_typed_one_line_failure(self, capsys):
+        assert main(["--strict", "--max-paths", "1", "analyze", "ed"]) == 3
+        captured = capsys.readouterr()
+        err_lines = [line for line in captured.err.splitlines() if line]
+        assert len(err_lines) == 1
+        assert err_lines[0].startswith("repro: budget error:")
+
+    def test_invalid_budget_value_exits_with_config_code(self, capsys):
+        assert main(["--max-paths", "0", "analyze", "ed"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: config error:")
+
+    def test_crpd_table_notes_soundness(self, capsys):
+        assert main(["--max-paths", "1", "crpd", "--experiment", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "soundness: conservative" in captured.out
+        assert "crpd:" in captured.err

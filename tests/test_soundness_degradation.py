@@ -1,0 +1,111 @@
+"""Soundness regression: the degraded bound always dominates the exact one.
+
+The guard layer's whole claim is that degrading under a tripped budget is
+*sound*: :func:`~repro.analysis.crpd.conservative_approach4_lines` (the
+path-free fallback on the ladder Eq. 4 → MUMBS∩CIIP → |MUMBS| per-set
+cap) must never be below the exact Approach 4 value it stands in for —
+checked here on both built-in experiment workloads, both MUMBS modes, and
+the synthetic pair fixture, so a regression in either side of the
+inequality fails tier-1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    Approach,
+    approach2_lines,
+    approach4_lines,
+    conservative_approach4_lines,
+)
+
+
+def preemption_pairs(context):
+    """(preempted, preempting) artifact pairs of one experiment context."""
+    order = list(context.priority_order)
+    return [
+        (context.crpd.tasks[order[low]], context.crpd.tasks[high])
+        for low in range(1, len(order))
+        for high in order[:low]
+    ]
+
+
+@pytest.fixture(scope="session")
+def experiment_pairs(experiment1_context, experiment2_context):
+    return preemption_pairs(experiment1_context) + preemption_pairs(
+        experiment2_context
+    )
+
+
+@pytest.mark.parametrize("mode", ["paper", "per_point"])
+def test_fallback_dominates_exact_on_experiments(experiment_pairs, mode):
+    assert experiment_pairs
+    for preempted, preempting in experiment_pairs:
+        exact = approach4_lines(preempted, preempting, mumbs_mode=mode)
+        fallback = conservative_approach4_lines(preempted, preempting, mode)
+        assert fallback >= exact, (
+            f"unsound fallback for {preempted.name}<-{preempting.name} "
+            f"({mode}): fallback {fallback} < exact {exact}"
+        )
+
+
+@pytest.mark.parametrize("mode", ["paper", "per_point"])
+def test_fallback_dominates_exact_on_synthetic_pair(analyzed_pair, mode):
+    low, high = analyzed_pair["low"], analyzed_pair["high"]
+    for preempted, preempting in [(low, high), (high, low)]:
+        exact = approach4_lines(preempted, preempting, mumbs_mode=mode)
+        fallback = conservative_approach4_lines(preempted, preempting, mode)
+        assert fallback >= exact
+
+
+def test_fallback_is_not_looser_than_approaches_2_and_3(experiment_pairs):
+    """Degrading never costs more than just using Approach 2 or 3 outright."""
+    for preempted, preempting in experiment_pairs:
+        fallback = conservative_approach4_lines(preempted, preempting)
+        assert fallback <= approach2_lines(preempted, preempting)
+        assert fallback <= preempted.useful.lee_reload_bound()
+
+
+def test_experiment_contexts_are_exact_by_default(
+    experiment1_context, experiment2_context
+):
+    """The built-in workloads fit the default budgets: no degradation."""
+    for context in (experiment1_context, experiment2_context):
+        assert context.crpd.soundness == "exact"
+        for artifacts in context.crpd.tasks.values():
+            assert artifacts.path_enumeration_complete
+            assert artifacts.path_profiles
+
+
+def test_degraded_estimate_matches_fallback_function(experiment1_context):
+    """A CRPD analyzer that must degrade reports exactly the ladder value."""
+    import dataclasses
+
+    from repro.analysis import CRPDAnalyzer
+    from repro.guard import AnalysisBudget, DegradationLedger
+
+    tasks = dict(experiment1_context.crpd.tasks)
+    order = list(experiment1_context.priority_order)
+    preempting_name, preempted_name = order[0], order[-1]
+    # Simulate a tripped path budget on the preemptor.
+    tasks[preempting_name] = dataclasses.replace(
+        tasks[preempting_name],
+        path_profiles=[],
+        path_enumeration_complete=False,
+    )
+    ledger = DegradationLedger()
+    crpd = CRPDAnalyzer(tasks, budget=AnalysisBudget(), ledger=ledger)
+    degraded = crpd.lines_reloaded(preempted_name, preempting_name, Approach.COMBINED)
+    assert degraded == conservative_approach4_lines(
+        experiment1_context.crpd.tasks[preempted_name],
+        experiment1_context.crpd.tasks[preempting_name],
+        "per_point",
+    )
+    exact = approach4_lines(
+        experiment1_context.crpd.tasks[preempted_name],
+        experiment1_context.crpd.tasks[preempting_name],
+        mumbs_mode="per_point",
+    )
+    assert degraded >= exact
+    assert ledger.soundness == "conservative"
