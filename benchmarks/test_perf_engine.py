@@ -1,0 +1,168 @@
+"""Perf bench: cold vs warm vs parallel analysis engine timings.
+
+Times the guarded analysis pipeline three ways on the paper's two
+experiments —
+
+* **cold**: empty artifact store, every task analysed from scratch,
+* **warm**: fresh in-memory state over the same on-disk store, so every
+  task analysis is a disk cache hit,
+* **parallel**: cold analysis fanned out over two worker processes
+  (recorded for comparison, not gated: CI runners may expose one core) —
+
+and demonstrates the branch-and-bound path engine on a synthetic task
+whose 8192 feasible paths trip the default ``--max-paths`` budget (4096):
+``--exact-paths`` recovers the exact Equation-4 bound from the tripped
+artifacts, matching full enumeration at a fraction of the work.
+
+Results land in ``BENCH_perf.json`` at the repo root (uploaded by the CI
+perf-smoke job) and ``benchmarks/out/perf_engine.txt``.  The assertion at
+the end is the CI gate: the warm run must be at least 2x faster than the
+cold run on Experiment I.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import tempfile
+from time import perf_counter
+
+from conftest import write_artifact
+
+from repro.analysis import analyze_task, max_path_conflict, max_path_conflict_pruned
+from repro.analysis.store import ArtifactStore
+from repro.cache import CacheConfig, CIIP
+from repro.experiments import EXPERIMENT_I_SPEC, EXPERIMENT_II_SPEC, build_context
+from repro.guard.budget import AnalysisBudget
+from repro.guard.ledger import DegradationLedger
+from repro.program import ProgramBuilder, SystemLayout
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+WARM_SPEEDUP_GATE = 2.0  # CI fails below this, Experiment I only
+WARM_REPEATS = 3
+
+
+def _time_build(spec, store=None, jobs=1):
+    started = perf_counter()
+    context = build_context(spec, miss_penalty=20, store=store, jobs=jobs)
+    return perf_counter() - started, context
+
+
+def _bench_experiment(spec):
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = pathlib.Path(tmp)
+        cold_seconds, cold = _time_build(spec, store=ArtifactStore(directory))
+        # Warm: new store object on the same directory, so only the
+        # on-disk entries survive — every analysis must be a disk hit.
+        warm_seconds = None
+        for _ in range(WARM_REPEATS):
+            store = ArtifactStore(directory)
+            seconds, warm = _time_build(spec, store=store)
+            assert store.hits == len(spec.priority_order), "expected all disk hits"
+            warm_seconds = seconds if warm_seconds is None else min(warm_seconds, seconds)
+        parallel_seconds, parallel = _time_build(spec, jobs=2)
+
+    for name in spec.priority_order:
+        assert (
+            cold.artifacts[name].wcet.cycles
+            == warm.artifacts[name].wcet.cycles
+            == parallel.artifacts[name].wcet.cycles
+        ), f"{spec.key}/{name}: engines disagree on WCET"
+    return {
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "warm_speedup": round(cold_seconds / warm_seconds, 2),
+        "parallel_jobs2_seconds": round(parallel_seconds, 4),
+        "tasks": list(spec.priority_order),
+    }
+
+
+def _bench_path_bomb():
+    """8192-path task: exact B&B on tripped artifacts vs full enumeration."""
+    config = CacheConfig(num_sets=32, ways=2, line_size=16, miss_penalty=20)
+    b = ProgramBuilder("bomb")
+    flags = b.array("flags", words=4)
+    tables = [b.array(f"t{i}", words=16) for i in range(4)]
+    b.load("f", flags, index=0)
+    for branch in range(13):  # 2^13 = 8192 paths > default max_paths 4096
+        with b.if_else("f") as arms:
+            with arms.then_case():
+                with b.loop(3) as i:
+                    b.load("v", tables[branch % 4], index=i)
+            with arms.else_case():
+                with b.loop(3) as i:
+                    b.load("v", tables[(branch + 1) % 4], index=i)
+    inputs = {"flags": [1, 0, 1, 0]}
+    for table in tables:
+        inputs[table.name] = list(range(16))
+
+    layout = SystemLayout().place(b.build())
+    ledger = DegradationLedger()
+    tripped = analyze_task(
+        layout, {"s": inputs}, config,
+        budget=AnalysisBudget(),  # default max_paths=4096 — trips
+        ledger=ledger,
+    )
+    assert ledger.degraded and not tripped.path_enumeration_complete
+    useful = CIIP.from_addresses(config, range(0, 2048, 16))
+
+    started = perf_counter()
+    pruned = max_path_conflict_pruned(useful, tripped)
+    exact_seconds = perf_counter() - started
+
+    full = analyze_task(  # raised budget: enumerate all 8192 paths
+        layout, {"s": inputs}, config, budget=AnalysisBudget(max_paths=16384)
+    )
+    started = perf_counter()
+    enumerated = max_path_conflict(useful, full).lines
+    enumerate_seconds = perf_counter() - started
+
+    assert pruned.cost == enumerated, "exact engine diverged from enumeration"
+    return {
+        "feasible_paths": len(full.path_profiles),
+        "default_max_paths": AnalysisBudget().max_paths,
+        "lines": pruned.cost,
+        "explored_paths": pruned.explored_paths,
+        "pruned_branches": pruned.pruned_branches,
+        "exact_engine_seconds": round(exact_seconds, 4),
+        "enumerate_seconds": round(enumerate_seconds, 4),
+    }
+
+
+def test_perf_engine():
+    results = {
+        "bench": "perf_engine",
+        "gate": {"exp1_warm_speedup_min": WARM_SPEEDUP_GATE},
+        "exp1": _bench_experiment(EXPERIMENT_I_SPEC),
+        "exp2": _bench_experiment(EXPERIMENT_II_SPEC),
+        "path_bomb": _bench_path_bomb(),
+    }
+    (REPO_ROOT / "BENCH_perf.json").write_text(
+        json.dumps(results, indent=2) + "\n"
+    )
+
+    lines = ["perf engine bench", ""]
+    for key in ("exp1", "exp2"):
+        r = results[key]
+        lines.append(
+            f"{key}: cold {r['cold_seconds'] * 1000:.0f} ms, "
+            f"warm {r['warm_seconds'] * 1000:.0f} ms "
+            f"({r['warm_speedup']}x), "
+            f"jobs=2 {r['parallel_jobs2_seconds'] * 1000:.0f} ms"
+        )
+    bomb = results["path_bomb"]
+    lines.append(
+        f"path bomb: {bomb['feasible_paths']} paths "
+        f"(budget {bomb['default_max_paths']}), exact engine "
+        f"{bomb['exact_engine_seconds'] * 1000:.1f} ms over "
+        f"{bomb['explored_paths']} explored / {bomb['pruned_branches']} pruned, "
+        f"enumeration {bomb['enumerate_seconds'] * 1000:.1f} ms, "
+        f"both -> {bomb['lines']} lines"
+    )
+    write_artifact("perf_engine.txt", "\n".join(lines))
+
+    # The CI gate: warm analysis must be at least 2x faster on Exp I.
+    assert results["exp1"]["warm_speedup"] >= WARM_SPEEDUP_GATE, (
+        f"warm speedup {results['exp1']['warm_speedup']}x below the "
+        f"{WARM_SPEEDUP_GATE}x gate (see BENCH_perf.json)"
+    )

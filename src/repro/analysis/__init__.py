@@ -29,8 +29,16 @@ from repro.analysis.intertask import (
 from repro.analysis.pathcost import (
     PathCost,
     PathCostResult,
+    PrunedPathResult,
     approach4_lines,
     max_path_conflict,
+    max_path_conflict_pruned,
+)
+from repro.analysis.store import (
+    ArtifactStore,
+    CachedAnalysis,
+    artifact_key,
+    default_store,
 )
 from repro.analysis.rmb_lmb import (
     RMBLMBResult,
@@ -69,8 +77,14 @@ __all__ = [
     "footprint_overlap_blocks",
     "PathCost",
     "PathCostResult",
+    "PrunedPathResult",
     "approach4_lines",
     "max_path_conflict",
+    "max_path_conflict_pruned",
+    "ArtifactStore",
+    "CachedAnalysis",
+    "artifact_key",
+    "default_store",
     "RMBLMBResult",
     "first_distinct",
     "last_distinct",

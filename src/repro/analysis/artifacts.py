@@ -33,6 +33,7 @@ from repro.program.paths import PathProfile, enumerate_path_profiles
 from repro.vm.trace import NodeTraceAggregate
 
 if TYPE_CHECKING:
+    from repro.analysis.store import ArtifactStore
     from repro.guard.budget import AnalysisBudget, BudgetClock
     from repro.guard.ledger import DegradationLedger
 
@@ -61,12 +62,61 @@ class TaskArtifacts:
         return self.layout.program
 
     def per_node_blocks(self) -> dict[str, frozenset[int]]:
-        """Memory blocks referenced per CFG node (for path footprints)."""
-        return self.aggregate.per_node_blocks()
+        """Memory blocks referenced per CFG node (for path footprints).
+
+        Memoised: the aggregate is immutable after analysis, and every
+        preemption pair re-derives path footprints from this map.
+        """
+        cached = getattr(self, "_per_node_blocks", None)
+        if cached is None:
+            cached = self.aggregate.per_node_blocks()
+            self._per_node_blocks = cached
+        return cached
 
     def mumbs_ciip(self) -> CIIP:
-        """CIIP of the task's Maximum Useful Memory Blocks Set (``M̃``)."""
-        return self.useful.mumbs_ciip()
+        """CIIP of the task's Maximum Useful Memory Blocks Set (``M̃``).
+
+        Memoised — asked for once per (pair × approach) otherwise.
+        """
+        cached = getattr(self, "_mumbs_ciip", None)
+        if cached is None:
+            cached = self.useful.mumbs_ciip()
+            self._mumbs_ciip = cached
+        return cached
+
+    def path_footprints(self) -> list[frozenset[int]]:
+        """Footprint block set of each feasible path, computed once.
+
+        Aligned with :attr:`path_profiles`; the naive Equation 4 evaluator
+        previously rebuilt every footprint for every preemption pair.
+        """
+        cached = getattr(self, "_path_footprints", None)
+        if cached is None:
+            from repro.program.paths import path_footprint
+
+            per_node = self.per_node_blocks()
+            cached = [
+                path_footprint(profile, per_node)
+                for profile in self.path_profiles
+            ]
+            self._path_footprints = cached
+        return cached
+
+    def path_ciips(self) -> list[CIIP]:
+        """CIIP of each feasible path's footprint, computed once.
+
+        The per-set cardinality vectors these carry are what makes the
+        naive Equation 4 loop cheap on repeat pairs: every conflict bound
+        against them is a counter-kernel call, no set algebra.
+        """
+        cached = getattr(self, "_path_ciips", None)
+        if cached is None:
+            cached = [
+                CIIP.from_addresses(self.config, footprint)
+                for footprint in self.path_footprints()
+            ]
+            self._path_ciips = cached
+        return cached
 
     def summary(self) -> dict[str, int]:
         """Headline numbers for reports and quick sanity checks."""
@@ -87,6 +137,7 @@ def analyze_task(
     budget: "AnalysisBudget | None" = None,
     ledger: "DegradationLedger | None" = None,
     clock: "BudgetClock | None" = None,
+    store: "ArtifactStore | None" = None,
 ) -> TaskArtifacts:
     """Run the full single-task analysis pipeline (Section III-B steps 1-2).
 
@@ -102,6 +153,12 @@ def analyze_task(
     the wall-clock deadline is enforced between stages.  *ledger* receives
     a record of any degradation; *clock* lets a caller share one wall-clock
     countdown across several tasks.
+
+    With a *store* (see :mod:`repro.analysis.store`), the result is looked
+    up / persisted under a content hash of every analysis input; a hit
+    skips the pipeline entirely and replays the original degradation
+    events into *ledger*, so cached and cold runs are indistinguishable to
+    callers.
     """
     program = layout.program
     program.cfg.validate()
@@ -111,6 +168,20 @@ def analyze_task(
         path_limit = budget.max_paths
         if clock is None:
             clock = budget.start()
+    strict = budget.strict if budget is not None else False
+    key = None
+    if store is not None and store.enabled:
+        from repro.analysis.store import CachedAnalysis, artifact_key
+
+        key = artifact_key(
+            layout, scenarios, config, max_steps, path_limit, strict
+        )
+        cached = store.get(key)
+        if cached is not None:
+            if ledger is not None:
+                for event in cached.events:
+                    ledger.events.append(event)
+            return cached.artifacts
     if clock is not None:
         clock.check(f"wcet:{program.name}")
     wcet = measure_wcet(layout, scenarios, config, max_steps=max_steps)
@@ -122,20 +193,25 @@ def analyze_task(
     useful = compute_useful_blocks(program.cfg, dataflow, aggregate)
     path_profiles: list[PathProfile] = []
     path_complete = True
+    local_events = []
     try:
         path_profiles = enumerate_path_profiles(program, limit=path_limit)
     except PathExplosionError as error:
         if budget is None or budget.strict:
             raise
         path_complete = False
+        from repro.guard.ledger import DegradationEvent
+
+        event = DegradationEvent(
+            stage=f"paths:{program.name}",
+            budget="max_paths",
+            reason=str(error),
+            fallback="path-incomplete artifacts (Eq. 4 -> MUMBS∩CIIP)",
+        )
+        local_events.append(event)
         if ledger is not None:
-            ledger.record(
-                stage=f"paths:{program.name}",
-                budget="max_paths",
-                reason=str(error),
-                fallback="path-incomplete artifacts (Eq. 4 -> MUMBS∩CIIP)",
-            )
-    return TaskArtifacts(
+            ledger.events.append(event)
+    artifacts = TaskArtifacts(
         name=program.name,
         layout=layout,
         config=config,
@@ -148,3 +224,8 @@ def analyze_task(
         path_profiles=path_profiles,
         path_enumeration_complete=path_complete,
     )
+    if key is not None and store is not None:
+        from repro.analysis.store import CachedAnalysis
+
+        store.put(key, CachedAnalysis(artifacts, tuple(local_events)))
+    return artifacts

@@ -23,6 +23,7 @@ raises :class:`~repro.errors.BudgetExceeded` instead.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from enum import IntEnum
 from typing import TYPE_CHECKING
@@ -105,6 +106,19 @@ class CRPDAnalyzer:
             a fresh ledger is created when omitted.
         clock: optional shared wall-clock countdown; created from
             *budget* on first use when omitted.
+        path_engine: how Approach 4 evaluates Equation 4's path
+            maximisation.
+
+            * ``"auto"`` (default) — branch-and-bound search
+              (:func:`~repro.analysis.pathcost.max_path_conflict_pruned`)
+              when complete path profiles exist, the sound degradation
+              ladder when enumeration tripped a budget.  Results are
+              identical to naive enumeration.
+            * ``"exact"`` — branch-and-bound always, *including* for tasks
+              whose enumeration tripped ``max_paths``: the exact Eq. 4
+              answer is recovered from the structure tree instead of
+              degrading (no ``crpd:`` ledger event is recorded).
+            * ``"enumerate"`` — the naive materialised-path loop.
     """
 
     def __init__(
@@ -114,15 +128,19 @@ class CRPDAnalyzer:
         budget: "AnalysisBudget | None" = None,
         ledger: "DegradationLedger | None" = None,
         clock: "BudgetClock | None" = None,
+        path_engine: str = "auto",
     ):
         if not tasks:
             raise ConfigError("no tasks given")
         configs = {artifacts.config for artifacts in tasks.values()}
         if len(configs) != 1:
             raise ConfigError("all tasks must share one cache configuration")
+        if path_engine not in ("auto", "exact", "enumerate"):
+            raise ConfigError(f"unknown path_engine {path_engine!r}")
         self.tasks = dict(tasks)
         self.config = next(iter(configs))
         self.mumbs_mode = mumbs_mode
+        self.path_engine = path_engine
         self.budget = budget
         if ledger is None:
             from repro.guard.ledger import DegradationLedger
@@ -133,6 +151,11 @@ class CRPDAnalyzer:
             clock = budget.start()
         self.clock = clock
         self._lines_cache: dict[tuple[str, str, Approach], int] = {}
+        #: Wall-clock seconds spent computing estimates, per approach
+        #: (cached lookups add nothing).  Surfaced by tables and reports.
+        self.analysis_seconds: dict[Approach, float] = {
+            approach: 0.0 for approach in ALL_APPROACHES
+        }
 
     def _artifacts(self, name: str) -> TaskArtifacts:
         try:
@@ -148,9 +171,11 @@ class CRPDAnalyzer:
         approach = Approach(approach)  # accept plain ints like 4
         key = (preempted, preempting, approach)
         if key not in self._lines_cache:
+            started = time.perf_counter()
             self._lines_cache[key] = self._compute_lines(
                 self._artifacts(preempted), self._artifacts(preempting), approach
             )
+            self.analysis_seconds[approach] += time.perf_counter() - started
         return self._lines_cache[key]
 
     def _compute_lines(
@@ -169,17 +194,6 @@ class CRPDAnalyzer:
     def _combined_lines(self, low: TaskArtifacts, high: TaskArtifacts) -> int:
         """Approach 4, degrading along the sound ladder under a budget."""
         stage = f"crpd:{low.name}<-{high.name}"
-        if not high.path_enumeration_complete:
-            return self._degrade(
-                low,
-                high,
-                stage=stage,
-                tripped="max_paths",
-                reason=(
-                    f"path enumeration of {high.name!r} exceeded the budget; "
-                    "Eq. 4 path analysis unavailable"
-                ),
-            )
         if self.clock is not None and self.clock.expired:
             return self._degrade(
                 low,
@@ -192,7 +206,31 @@ class CRPDAnalyzer:
                     "maximisation"
                 ),
             )
+        if self.path_engine == "exact":
+            # Branch-and-bound needs only the structure tree, so the exact
+            # Eq. 4 answer is available even past a tripped max_paths.
+            return approach4_lines(
+                low, high, mumbs_mode=self.mumbs_mode, engine="prune"
+            )
+        if not high.path_enumeration_complete:
+            return self._degrade(
+                low,
+                high,
+                stage=stage,
+                tripped="max_paths",
+                reason=(
+                    f"path enumeration of {high.name!r} exceeded the budget; "
+                    "Eq. 4 path analysis unavailable"
+                ),
+            )
         strict = self.budget is not None and self.budget.strict
+        if self.path_engine == "auto" and high.path_profiles:
+            # Identical result to enumeration (asserted by the equivalence
+            # property tests), without walking every materialised path.
+            return approach4_lines(
+                low, high, mumbs_mode=self.mumbs_mode, strict=strict,
+                engine="prune",
+            )
         return approach4_lines(low, high, mumbs_mode=self.mumbs_mode, strict=strict)
 
     def _degrade(
@@ -262,15 +300,79 @@ class CRPDAnalyzer:
         )
 
     def estimate_all_pairs(
-        self, priority_order: list[str]
+        self, priority_order: list[str], jobs: int = 1
     ) -> list[PreemptionEstimate]:
         """Every feasible preemption pair of a priority-ordered task list.
 
         ``priority_order`` lists task names from highest to lowest priority;
         each task can be preempted by every earlier (higher-priority) task.
+
+        ``jobs > 1`` shards the pairs across worker processes.  The merge
+        is deterministic: estimates, line-cache entries, ledger events and
+        timing accumulate in pair-submission order, so the result — and
+        every later ``cpre``/``lines_reloaded`` lookup — is identical to a
+        sequential run.  Each worker re-arms the analysis budget locally
+        (its own wall clock, strictness and ledger); worker degradations
+        and :class:`BudgetExceeded` failures propagate back to the caller.
         """
-        estimates: list[PreemptionEstimate] = []
+        pairs: list[tuple[str, str]] = []
         for low_index, preempted in enumerate(priority_order):
             for preempting in priority_order[:low_index]:
-                estimates.append(self.estimate_pair(preempted, preempting))
+                pairs.append((preempted, preempting))
+        if jobs <= 1 or len(pairs) <= 1:
+            return [self.estimate_pair(*pair) for pair in pairs]
+        from concurrent.futures import ProcessPoolExecutor
+
+        estimates: list[PreemptionEstimate] = []
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(pairs)),
+            initializer=_init_pair_worker,
+            initargs=(self.tasks, self.mumbs_mode, self.budget,
+                      self.path_engine),
+        ) as pool:
+            for estimate, events, seconds in pool.map(
+                _estimate_pair_worker, pairs
+            ):
+                estimates.append(estimate)
+                for approach, lines in estimate.lines.items():
+                    key = (estimate.preempted, estimate.preempting, approach)
+                    self._lines_cache.setdefault(key, lines)
+                self.ledger.events.extend(events)
+                for approach, spent in seconds.items():
+                    self.analysis_seconds[approach] += spent
         return estimates
+
+
+# ----------------------------------------------------------------------
+# Process-pool workers for the parallel pair fan-out.  Module level so
+# they pickle under both the fork and spawn start methods; each worker
+# process builds one analyzer (with its own budget clock and ledger) in
+# the pool initializer and reuses it for every pair it is handed.
+# ----------------------------------------------------------------------
+_PAIR_WORKER_ANALYZER: "CRPDAnalyzer | None" = None
+
+
+def _init_pair_worker(
+    tasks: dict[str, TaskArtifacts],
+    mumbs_mode: str,
+    budget: "AnalysisBudget | None",
+    path_engine: str,
+) -> None:
+    global _PAIR_WORKER_ANALYZER
+    _PAIR_WORKER_ANALYZER = CRPDAnalyzer(
+        tasks, mumbs_mode=mumbs_mode, budget=budget, path_engine=path_engine
+    )
+
+
+def _estimate_pair_worker(pair: tuple[str, str]):
+    analyzer = _PAIR_WORKER_ANALYZER
+    assert analyzer is not None, "worker initializer did not run"
+    events_before = len(analyzer.ledger.events)
+    seconds_before = dict(analyzer.analysis_seconds)
+    estimate = analyzer.estimate_pair(*pair)
+    events = analyzer.ledger.events[events_before:]
+    seconds = {
+        approach: analyzer.analysis_seconds[approach] - seconds_before[approach]
+        for approach in ALL_APPROACHES
+    }
+    return estimate, events, seconds

@@ -12,10 +12,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Dict, Tuple
+
 from repro.analysis.artifacts import TaskArtifacts
 from repro.cache.ciip import CIIP, conflict_bound
-from repro.errors import ConfigError
-from repro.program.paths import PathProfile, path_footprint
+from repro.errors import ConfigError, PathExplosionError
+from repro.program.paths import (
+    ChoiceStep,
+    PathProfile,
+    UnconditionalStep,
+    flatten_path_steps,
+)
 
 
 @dataclass(frozen=True)
@@ -66,11 +73,12 @@ def max_path_conflict(
     (M̃a); the per-path footprints ``Mb^k`` come from the preempting task's
     per-node trace blocks restricted to the path.
     """
-    per_node = preempting.per_node_blocks()
+    footprints = preempting.path_footprints()
+    path_ciips = preempting.path_ciips()
     costs: list[PathCost] = []
-    for profile in preempting.path_profiles:
-        footprint = path_footprint(profile, per_node)
-        path_ciip = CIIP.from_addresses(preempting.config, footprint)
+    for profile, footprint, path_ciip in zip(
+        preempting.path_profiles, footprints, path_ciips
+    ):
         costs.append(
             PathCost(
                 profile=profile,
@@ -81,11 +89,221 @@ def max_path_conflict(
     return PathCostResult(per_path=costs)
 
 
+# ----------------------------------------------------------------------
+# Branch-and-bound path search
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PrunedPathResult:
+    """Result of the branch-and-bound evaluation of Equation 4.
+
+    ``cost`` equals ``max_path_conflict(...).lines`` whenever the program
+    has at least one feasible path; the remaining fields are search
+    diagnostics (how much work pruning and saturation avoided).
+    """
+
+    cost: int
+    explored_paths: int
+    pruned_branches: int
+    expansions: int
+    saturated: bool
+
+
+class _Saturated(Exception):
+    """Internal: the incumbent hit the global cap; no path can beat it."""
+
+
+def max_path_conflict_pruned(
+    useful_ciip: CIIP,
+    preempting: TaskArtifacts,
+    node_budget: int = 1_000_000,
+) -> PrunedPathResult:
+    """Branch-and-bound evaluation of ``max_k S(M̃a, Mb^k)`` (Equation 4).
+
+    Searches the preempting task's structure tree directly instead of
+    enumerating its feasible paths, so it completes even on programs whose
+    path count trips the enumeration budget.  Three devices keep the search
+    near-linear on the paper's benchmarks:
+
+    * **Admissible bound** — for a partial path, each cache set *r* can
+      contribute at most ``min(cap_r, n_r + potential_r)`` where ``cap_r =
+      min(|useful_r|, L)``, ``n_r`` counts distinct preempting blocks
+      accumulated so far, and ``potential_r`` over-approximates the distinct
+      blocks the remaining steps could still add.  Branches whose bound
+      cannot beat the incumbent are pruned.
+    * **Saturation** — once the incumbent reaches ``sum_r cap_r`` no path
+      can improve it, and the search stops immediately.
+    * **Step coalescing** — straight-line stretches and collapsed loops are
+      single steps, so backtracking happens only at real choice points.
+
+    ``node_budget`` bounds step expansions; exceeding it raises
+    :class:`PathExplosionError` so callers degrade exactly as they would
+    for enumeration overflow.
+    """
+    if useful_ciip.config != preempting.config:
+        raise ConfigError("CIIPs built for different cache configurations")
+    config = preempting.config
+    ways = config.ways
+    caps = {
+        index: min(len(group), ways)
+        for index, group in useful_ciip.groups.items()
+    }
+    total_cap = sum(caps.values())
+    steps = flatten_path_steps(preempting.layout.program)
+
+    # Per-label (block, set) pairs, restricted to sets the preempted task
+    # actually uses — blocks elsewhere can never conflict.
+    per_node = preempting.per_node_blocks()
+    label_pairs: Dict[str, Tuple[Tuple[int, int], ...]] = {}
+    for label, addresses in per_node.items():
+        pairs = []
+        for address in set(addresses):
+            block = config.block(address)
+            index = config.index(block)
+            if index in caps:
+                pairs.append((block, index))
+        if pairs:
+            label_pairs[label] = tuple(sorted(set(pairs)))
+
+    # Potentials: sparse per-set upper bounds on distinct blocks a step (or
+    # step suffix) can still add, each entry capped at cap_r.
+    pot_memo: Dict[int, Dict[int, int]] = {}
+    suffix_memo: Dict[int, list] = {}
+    keep_alive = []  # pin id()-keyed tuples for the memo lifetime
+
+    def step_pot(step) -> Dict[int, int]:
+        cached = pot_memo.get(id(step))
+        if cached is not None:
+            return cached
+        pot: Dict[int, int] = {}
+        if isinstance(step, UnconditionalStep):
+            blocks_by_set: Dict[int, set] = {}
+            for label in step.labels:
+                for block, index in label_pairs.get(label, ()):
+                    blocks_by_set.setdefault(index, set()).add(block)
+            for index, blocks in blocks_by_set.items():
+                pot[index] = min(len(blocks), caps[index])
+        else:
+            for alt in step.alternatives:
+                alt_pot = seq_pots(alt)[0]
+                for index, value in alt_pot.items():
+                    if value > pot.get(index, 0):
+                        pot[index] = value
+        pot_memo[id(step)] = pot
+        keep_alive.append(step)
+        return pot
+
+    def seq_pots(seq) -> list:
+        """Suffix potentials of a step tuple: pots[i] bounds steps[i:]."""
+        cached = suffix_memo.get(id(seq))
+        if cached is not None:
+            return cached
+        pots = [dict() for _ in range(len(seq) + 1)]
+        for i in range(len(seq) - 1, -1, -1):
+            merged = dict(pots[i + 1])
+            for index, value in step_pot(seq[i]).items():
+                total = merged.get(index, 0) + value
+                merged[index] = total if total < caps[index] else caps[index]
+            pots[i] = merged
+        suffix_memo[id(seq)] = pots
+        keep_alive.append(seq)
+        return pots
+
+    seen: set = set()
+    counts: Dict[int, int] = {}
+    state = {"cost": 0, "best": -1, "explored": 0, "pruned": 0, "expanded": 0}
+
+    def apply_step(step: UnconditionalStep) -> list:
+        added = []
+        cost = state["cost"]
+        for label in step.labels:
+            for block, index in label_pairs.get(label, ()):
+                if block not in seen:
+                    seen.add(block)
+                    tally = counts.get(index, 0) + 1
+                    counts[index] = tally
+                    if tally <= caps[index]:
+                        cost += 1
+                    added.append((block, index))
+        state["cost"] = cost
+        return added
+
+    def undo(added: list) -> None:
+        cost = state["cost"]
+        for block, index in added:
+            seen.discard(block)
+            tally = counts[index] - 1
+            counts[index] = tally
+            if tally < caps[index]:
+                cost -= 1
+        state["cost"] = cost
+
+    def bound_with(*pots: Dict[int, int]) -> int:
+        extra: Dict[int, int] = {}
+        for pot in pots:
+            for index, value in pot.items():
+                extra[index] = extra.get(index, 0) + value
+        bound = state["cost"]
+        for index, value in extra.items():
+            cap = caps[index]
+            used = counts.get(index, 0)
+            room = cap - (used if used < cap else cap)
+            bound += value if value < room else room
+        return bound
+
+    def walk(seq, i, after, cont) -> None:
+        if i == len(seq):
+            if cont is None:
+                state["explored"] += 1
+                if state["cost"] > state["best"]:
+                    state["best"] = state["cost"]
+                    if state["best"] >= total_cap:
+                        raise _Saturated
+            else:
+                cont()
+            return
+        state["expanded"] += 1
+        if state["expanded"] > node_budget:
+            raise PathExplosionError(
+                f"branch-and-bound exceeded {node_budget} step expansions"
+            )
+        step = seq[i]
+        if isinstance(step, UnconditionalStep):
+            added = apply_step(step)
+            try:
+                walk(seq, i + 1, after, cont)
+            finally:
+                undo(added)
+            return
+        suffix_next = seq_pots(seq)[i + 1]
+        for alt in step.alternatives:
+            if bound_with(seq_pots(alt)[0], suffix_next, *after) <= state["best"]:
+                state["pruned"] += 1
+                continue
+            walk(
+                alt, 0, (suffix_next,) + after,
+                lambda: walk(seq, i + 1, after, cont),
+            )
+
+    saturated = False
+    try:
+        walk(steps, 0, (), None)
+    except _Saturated:
+        saturated = True
+    return PrunedPathResult(
+        cost=max(state["best"], 0),
+        explored_paths=state["explored"],
+        pruned_branches=state["pruned"],
+        expansions=state["expanded"],
+        saturated=saturated,
+    )
+
+
 def approach4_lines(
     preempted: TaskArtifacts,
     preempting: TaskArtifacts,
     mumbs_mode: str = "paper",
     strict: bool = False,
+    engine: str = "enumerate",
 ) -> int:
     """Approach 4: combined intra-task + inter-task + path analysis.
 
@@ -109,13 +327,31 @@ def approach4_lines(
     Both stay below Approaches 2 and 3 (each per-point cost is bounded by
     the footprint intersection and by Lee's per-point count).  See
     DESIGN.md and ``benchmarks/test_ablation_mumbs.py``.
+
+    ``engine`` selects how Equation 4's path maximisation is evaluated:
+
+    * ``"enumerate"`` — iterate the materialised ``path_profiles``
+      (requires enumeration to have completed).
+    * ``"prune"`` — :func:`max_path_conflict_pruned` branch-and-bound over
+      the structure tree; identical result, works even when enumeration
+      tripped the ``--max-paths`` budget.  Note the search derives paths
+      from the program structure, so an artifact whose ``path_profiles``
+      were emptied by hand still yields the structural answer.
     """
     if strict and not preempting.path_profiles:
         raise ConfigError(
             f"preempting task {preempting.name!r} has no feasible paths"
         )
+    if engine == "prune":
+        def lines_for(useful_ciip: CIIP) -> int:
+            return max_path_conflict_pruned(useful_ciip, preempting).cost
+    elif engine == "enumerate":
+        def lines_for(useful_ciip: CIIP) -> int:
+            return max_path_conflict(useful_ciip, preempting).lines
+    else:
+        raise ConfigError(f"unknown path engine {engine!r}")
     if mumbs_mode == "paper":
-        return max_path_conflict(preempted.mumbs_ciip(), preempting).lines
+        return lines_for(preempted.mumbs_ciip())
     if mumbs_mode == "per_point":
         worst = 0
         footprint_ciip = preempted.footprint_ciip
@@ -124,7 +360,6 @@ def approach4_lines(
             if not blocks:
                 continue
             point_ciip = footprint_ciip.restrict(blocks)
-            result = max_path_conflict(point_ciip, preempting)
-            worst = max(worst, result.lines)
+            worst = max(worst, lines_for(point_ciip))
         return worst
     raise ConfigError(f"unknown mumbs_mode {mumbs_mode!r}")

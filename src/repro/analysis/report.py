@@ -150,4 +150,10 @@ def system_report(
                 f"(reload {explanation.total_cache_reload}, "
                 f"switches {explanation.total_context_switches})  {verdict}"
             )
+
+    lines.append("")
+    lines.append("[analysis wall-time per approach]")
+    for approach in ALL_APPROACHES:
+        spent = crpd.analysis_seconds[approach]
+        lines.append(f"  Approach {approach.value}: {spent * 1000:8.2f} ms")
     return "\n".join(lines)

@@ -1,0 +1,246 @@
+"""Content-addressed cache of :class:`~repro.analysis.artifacts.TaskArtifacts`.
+
+Analysing a task — simulating every scenario, solving the RMB/LMB dataflow,
+enumerating paths — is the dominant cost of every experiment run, yet its
+result depends only on (program, layout, scenarios, cache config, analysis
+limits).  This module keys the finished artifacts by a SHA-256 over a
+canonical description of exactly those inputs, so repeated CLI, experiment
+and benchmark runs skip re-analysis entirely.
+
+Invalidation rules (what participates in the key):
+
+* the program: CFG blocks in layout order, instruction and terminator
+  reprs, the structure tree, and the data-array declarations;
+* the concrete layout: code/data base addresses and alignment;
+* every input scenario (name -> array -> values), sorted for determinism;
+* the :class:`~repro.cache.config.CacheConfig` (all geometry/policy/cost
+  fields via its dataclass repr);
+* the analysis limits that shape the result: simulation step cap, path
+  enumeration limit and strictness;
+* ``SCHEMA_VERSION`` (bump when the artifact layout changes) and a
+  fingerprint of the installed ``repro`` *source code*, so editing any
+  module of this package automatically invalidates prior entries — a
+  stale-cache bug can never survive a code change.
+
+Degradation events recorded while the artifacts were first computed are
+stored alongside them and replayed into the caller's ledger on every hit,
+so a cached run reports the identical soundness status as a cold one.
+
+The store is two-level: a per-process LRU of deserialised bundles and an
+on-disk pickle directory (default ``~/.cache/repro``, override with
+``REPRO_CACHE_DIR``, disable with ``REPRO_NO_CACHE=1`` or ``--no-cache``).
+Disk writes are atomic (temp file + ``os.replace``) and unreadable or
+corrupt entries are treated as misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+from repro.analysis.wcet import Scenarios
+from repro.cache.config import CacheConfig
+from repro.program.layout import ProgramLayout
+
+if TYPE_CHECKING:
+    from repro.analysis.artifacts import TaskArtifacts
+    from repro.guard.ledger import DegradationEvent
+
+__all__ = [
+    "ArtifactStore",
+    "CachedAnalysis",
+    "SCHEMA_VERSION",
+    "artifact_key",
+    "default_store",
+]
+
+#: Bump whenever the pickled artifact layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+_SOURCE_FINGERPRINT: Optional[str] = None
+
+
+def _source_fingerprint() -> str:
+    """SHA-256 over every ``repro`` source file, computed once per process.
+
+    Makes the package's own code part of every cache key: any edit to the
+    analysis pipeline silently invalidates all previously stored artifacts.
+    """
+    global _SOURCE_FINGERPRINT
+    if _SOURCE_FINGERPRINT is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(path.read_bytes())
+        _SOURCE_FINGERPRINT = digest.hexdigest()
+    return _SOURCE_FINGERPRINT
+
+
+def artifact_key(
+    layout: ProgramLayout,
+    scenarios: Scenarios,
+    config: CacheConfig,
+    max_steps: int,
+    path_limit: int,
+    strict: bool,
+) -> str:
+    """Content hash identifying one ``analyze_task`` invocation's result."""
+    program = layout.program
+    cfg = program.cfg
+    digest = hashlib.sha256()
+
+    def feed(text: str) -> None:
+        digest.update(text.encode())
+        digest.update(b"\x00")
+
+    feed(f"schema={SCHEMA_VERSION}")
+    feed(f"source={_source_fingerprint()}")
+    feed(f"program={program.name}")
+    feed(f"entry={cfg.entry}")
+    for label in cfg.labels():
+        block = cfg.block(label)
+        feed(f"block={label}")
+        for instruction in block.instructions:
+            feed(repr(instruction))
+        feed(repr(block.terminator))
+    feed(f"structure={program.structure!r}")
+    for name in sorted(program.arrays):
+        decl = program.arrays[name]
+        feed(f"array={decl.name}:{decl.words}:{decl.element_size}")
+    feed(
+        f"layout={layout.code_base}:{layout.data_base}:{layout.data_alignment}"
+    )
+    feed(f"config={config!r}")
+    for scenario_name in sorted(scenarios):
+        feed(f"scenario={scenario_name}")
+        inputs = scenarios[scenario_name]
+        for array_name in sorted(inputs):
+            feed(f"input={array_name}:{tuple(inputs[array_name])!r}")
+    feed(f"max_steps={max_steps}")
+    feed(f"path_limit={path_limit}")
+    feed(f"strict={strict}")
+    return digest.hexdigest()
+
+
+@dataclass
+class CachedAnalysis:
+    """One store entry: the artifacts plus the degradations they came with."""
+
+    artifacts: "TaskArtifacts"
+    events: tuple["DegradationEvent", ...] = ()
+
+
+@dataclass
+class ArtifactStore:
+    """Two-level (memory LRU + disk) cache of analysis artifacts.
+
+    Statistics are kept per instance so benchmarks and tests can assert
+    hit/miss behaviour precisely.
+    """
+
+    directory: Optional[Path] = None
+    memory_slots: int = 64
+    enabled: bool = True
+    hits: int = 0
+    misses: int = 0
+    _memory: "OrderedDict[str, CachedAnalysis]" = field(
+        default_factory=OrderedDict, repr=False
+    )
+
+    def _path_for(self, key: str) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return Path(self.directory) / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[CachedAnalysis]:
+        """Look *key* up, memory first, then disk; ``None`` on miss."""
+        if not self.enabled:
+            return None
+        entry = self._memory.get(key)
+        if entry is not None:
+            self._memory.move_to_end(key)
+            self.hits += 1
+            return entry
+        path = self._path_for(key)
+        if path is not None and path.exists():
+            try:
+                with path.open("rb") as handle:
+                    entry = pickle.load(handle)
+            except Exception:
+                entry = None  # corrupt/unreadable entry: treat as a miss
+            if isinstance(entry, CachedAnalysis):
+                self._remember(key, entry)
+                self.hits += 1
+                return entry
+        self.misses += 1
+        return None
+
+    def put(self, key: str, entry: CachedAnalysis) -> None:
+        """Store *entry* in memory and (atomically) on disk."""
+        if not self.enabled:
+            return
+        self._remember(key, entry)
+        path = self._path_for(key)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                mode="wb", dir=str(path.parent), delete=False
+            )
+            try:
+                with handle:
+                    pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(handle.name, path)
+            except BaseException:
+                os.unlink(handle.name)
+                raise
+        except OSError:
+            pass  # disk cache is best-effort; the result is still returned
+
+    def _remember(self, key: str, entry: CachedAnalysis) -> None:
+        memory = self._memory
+        memory[key] = entry
+        memory.move_to_end(key)
+        while len(memory) > self.memory_slots:
+            memory.popitem(last=False)
+
+    def clear_memory(self) -> None:
+        """Drop the in-process LRU (disk entries survive)."""
+        self._memory.clear()
+
+
+_DEFAULT_STORE: Optional[ArtifactStore] = None
+
+
+def default_directory() -> Path:
+    """Resolve the on-disk cache root (``REPRO_CACHE_DIR`` overrides)."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def default_store() -> ArtifactStore:
+    """The process-wide store singleton.
+
+    Honours ``REPRO_NO_CACHE=1`` (store disabled: every get misses, every
+    put is dropped) and ``REPRO_CACHE_DIR`` at first use.
+    """
+    global _DEFAULT_STORE
+    if _DEFAULT_STORE is None:
+        disabled = os.environ.get("REPRO_NO_CACHE", "") not in ("", "0")
+        _DEFAULT_STORE = ArtifactStore(
+            directory=default_directory(),
+            enabled=not disabled,
+        )
+    return _DEFAULT_STORE

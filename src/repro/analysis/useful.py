@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 from repro.analysis.rmb_lmb import RMBLMBResult, SetStates
 from repro.cache.ciip import CIIP
+from repro.cache.kernels import intern_blocks
 from repro.cache.config import CacheConfig
 from repro.program.cfg import ControlFlowGraph
 from repro.vm.trace import NodeTraceAggregate
@@ -55,18 +56,30 @@ class UsefulBlocks:
     ways: int
 
     def blocks(self) -> frozenset[int]:
-        merged: set[int] = set()
-        for group in self.per_set.values():
-            merged.update(group)
-        return frozenset(merged)
+        cached = self.__dict__.get("_blocks")
+        if cached is None:
+            merged: set[int] = set()
+            for group in self.per_set.values():
+                merged.update(group)
+            cached = frozenset(merged)
+            object.__setattr__(self, "_blocks", cached)
+        return cached
 
     def reload_bound(self) -> int:
         """Lee's bound on reloaded lines for a preemption at this point.
 
         ``sum over sets of min(|useful per set|, L)`` — at most ``L`` lines
-        of one set can be resident, hence evicted-and-reloaded.
+        of one set can be resident, hence evicted-and-reloaded.  Memoised:
+        the per-point bound is re-ranked for every preemption pair.
         """
-        return sum(min(len(group), self.ways) for group in self.per_set.values())
+        cached = self.__dict__.get("_reload_bound")
+        if cached is None:
+            ways = self.ways
+            cached = sum(
+                min(len(group), ways) for group in self.per_set.values()
+            )
+            object.__setattr__(self, "_reload_bound", cached)
+        return cached
 
 
 @dataclass
@@ -80,7 +93,13 @@ class UsefulBlocksAnalysis:
         """The execution point with the largest reload bound (Def. 4)."""
         if not self.points:
             raise ValueError("no execution points analysed")
-        return max(self.points, key=lambda u: (u.reload_bound(), len(u.blocks())))
+        cached = getattr(self, "_max_point", None)
+        if cached is None:
+            cached = max(
+                self.points, key=lambda u: (u.reload_bound(), len(u.blocks()))
+            )
+            self._max_point = cached
+        return cached
 
     def mumbs(self) -> frozenset[int]:
         """The Maximum Useful Memory Blocks Set ``M̃`` of the task."""
@@ -98,11 +117,20 @@ class UsefulBlocksAnalysis:
 
 
 def _intersect(a: SetStates, b: SetStates, config: CacheConfig) -> SetStates:
+    # Probe the larger mapping with the smaller one's keys instead of
+    # materialising both key sets; intern the surviving groups so repeated
+    # intersections of the same dataflow states share one object per value.
+    if len(a) > len(b):
+        a, b = b, a
+    lookup = b.get
     result: SetStates = {}
-    for index in set(a) & set(b):
-        common = a[index] & b[index]
+    for index, group in a.items():
+        other = lookup(index)
+        if other is None:
+            continue
+        common = group & other
         if common:
-            result[index] = common
+            result[index] = intern_blocks(frozenset(common))
     return result
 
 

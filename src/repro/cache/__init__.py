@@ -7,8 +7,16 @@ from repro.cache.state import AccessResult, CacheState, CacheStats
 from repro.cache.ciip import (
     CIIP,
     conflict_bound,
+    conflict_bound_naive,
     conflict_bound_per_set,
     line_usage_bound,
+)
+from repro.cache.kernels import (
+    SetCounts,
+    conflict_kernel,
+    counts_of_groups,
+    intern_blocks,
+    usage_kernel,
 )
 
 __all__ = [
@@ -21,6 +29,12 @@ __all__ = [
     "AccessResult",
     "CIIP",
     "conflict_bound",
+    "conflict_bound_naive",
     "conflict_bound_per_set",
     "line_usage_bound",
+    "SetCounts",
+    "conflict_kernel",
+    "counts_of_groups",
+    "intern_blocks",
+    "usage_kernel",
 ]

@@ -19,6 +19,14 @@ from typing import Iterable, Mapping
 
 from repro.errors import ConfigError
 from repro.cache.config import CacheConfig
+from repro.cache.kernels import (
+    SetCounts,
+    conflict_kernel,
+    conflict_kernel_per_set,
+    counts_of_groups,
+    intern_blocks,
+    usage_kernel,
+)
 
 
 @dataclass(frozen=True)
@@ -44,7 +52,10 @@ class CIIP:
         for address in addresses:
             block = config.block(address)
             groups.setdefault(config.index(block), set()).add(block)
-        frozen = {index: frozenset(blocks) for index, blocks in groups.items()}
+        frozen = {
+            index: intern_blocks(frozenset(blocks))
+            for index, blocks in groups.items()
+        }
         return cls(config=config, groups=frozen)
 
     # ------------------------------------------------------------------
@@ -58,6 +69,20 @@ class CIIP:
     def group(self, index: int) -> frozenset[int]:
         """Blocks mapping to cache set *index* (``m̂_i``); empty if none."""
         return self.groups.get(index, frozenset())
+
+    @property
+    def set_counts(self) -> SetCounts:
+        """Per-set cardinality vector ``{r: |m̂_r|}``, computed once.
+
+        This is the input to the counter kernels of
+        :mod:`repro.cache.kernels`; the frozen dataclass memoises it in
+        ``__dict__`` so repeated conflict bounds pay for the vector once.
+        """
+        cached = self.__dict__.get("_set_counts")
+        if cached is None:
+            cached = counts_of_groups(self.groups)
+            object.__setattr__(self, "_set_counts", cached)
+        return cached
 
     def indices(self) -> frozenset[int]:
         """Cache-set indices with at least one block."""
@@ -74,11 +99,11 @@ class CIIP:
         subset ``M̃a`` of Section V.
         """
         keep = {self.config.block(address) for address in blocks}
-        groups = {
-            index: group & keep
-            for index, group in self.groups.items()
-            if group & keep
-        }
+        groups = {}
+        for index, group in self.groups.items():
+            common = group & keep
+            if common:
+                groups[index] = intern_blocks(common)
         return CIIP(config=self.config, groups=groups)
 
     def is_partition_of(self, addresses: Iterable[int]) -> bool:
@@ -100,7 +125,22 @@ def conflict_bound(a: CIIP, b: CIIP) -> int:
 
     Both partitions must share the same cache geometry.  Returns
     ``S(Ma, Mb)`` — the maximum number of cache lines used by blocks of
-    ``a`` that blocks of ``b`` can evict (and vice versa).
+    ``a`` that blocks of ``b`` can evict (and vice versa).  Evaluated with
+    the per-set counter kernel; :func:`conflict_bound_naive` is the
+    reference set-algebra formulation the equivalence tests pin it to.
+    """
+    if a.config != b.config:
+        raise ConfigError("CIIPs built for different cache configurations")
+    return conflict_kernel(a.set_counts, b.set_counts, a.config.ways)
+
+
+def conflict_bound_naive(a: CIIP, b: CIIP) -> int:
+    """Reference implementation of :func:`conflict_bound` via set algebra.
+
+    Kept as the executable specification: intersects the index sets and
+    takes group lengths per call, exactly as Equation 2 is written.  The
+    property tests assert ``conflict_bound == conflict_bound_naive`` on
+    randomized partitions.
     """
     if a.config != b.config:
         raise ConfigError("CIIPs built for different cache configurations")
@@ -113,9 +153,7 @@ def conflict_bound_per_set(a: CIIP, b: CIIP) -> dict[int, int]:
     """Per-cache-set breakdown of :func:`conflict_bound` (for diagnostics)."""
     if a.config != b.config:
         raise ConfigError("CIIPs built for different cache configurations")
-    ways = a.config.ways
-    shared = a.indices() & b.indices()
-    return {r: min(len(a.group(r)), len(b.group(r)), ways) for r in sorted(shared)}
+    return conflict_kernel_per_set(a.set_counts, b.set_counts, a.config.ways)
 
 
 def line_usage_bound(ciip: CIIP) -> int:
@@ -125,5 +163,4 @@ def line_usage_bound(ciip: CIIP) -> int:
     ``min(|m̂_r|, L)``.  This is Approach 1's per-preemption reload count:
     every line the preempting task can touch.
     """
-    ways = ciip.config.ways
-    return sum(min(len(group), ways) for group in ciip.groups.values())
+    return usage_kernel(ciip.set_counts, ciip.config.ways)

@@ -1,0 +1,100 @@
+"""Per-set counter kernels for the CIIP conflict math.
+
+Every conflict bound in the paper reduces to the same per-cache-set shape
+
+    sum over sets r of min(|m̂a,r|, |m̂b,r|, L)
+
+so nothing about the *blocks* themselves matters once the per-set
+cardinalities are known.  The kernels below operate on precomputed
+cardinality vectors instead of intersecting frozensets per call: a
+``CIIP`` exposes its vector once (:attr:`repro.cache.ciip.CIIP.set_counts`)
+and every subsequent ``conflict_bound``/``eq3_lines`` evaluation is a
+single sparse min-sum over the smaller of the two vectors.
+
+Cardinality vectors are *sparse* dicts (set index -> block count) rather
+than dense arrays: the experiment caches have up to 512 sets but task
+footprints touch only a band of them, so iterating the occupied entries of
+the smaller operand beats scanning a dense array — and needs no numpy,
+which the container does not ship.
+
+Block-set interning keeps one canonical object per distinct frozenset of
+memory blocks.  The analyses build the same group sets over and over (every
+``CIIP.from_addresses`` of the same footprint, every ``restrict``), so
+interning both bounds memory and turns later set-equality checks into
+pointer comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+#: Sparse per-set cardinality vector: cache-set index -> number of blocks.
+SetCounts = Dict[int, int]
+
+_BLOCKSET_INTERN: dict[frozenset[int], frozenset[int]] = {}
+
+
+def intern_blocks(blocks: frozenset[int]) -> frozenset[int]:
+    """Return the canonical instance of *blocks* (one object per value).
+
+    The intern table is process-global and append-only; analyses create a
+    bounded universe of distinct group sets per run, so no eviction is
+    needed.  Workers of a process pool build their own tables.
+    """
+    cached = _BLOCKSET_INTERN.get(blocks)
+    if cached is None:
+        _BLOCKSET_INTERN[blocks] = blocks
+        return blocks
+    return cached
+
+
+def counts_of_groups(groups: Mapping[int, frozenset[int]]) -> SetCounts:
+    """Cardinality vector of a CIIP group mapping."""
+    return {index: len(group) for index, group in groups.items()}
+
+
+def conflict_kernel(a: SetCounts, b: SetCounts, ways: int) -> int:
+    """``sum over shared sets r of min(a[r], b[r], L)`` (Equations 2/3).
+
+    Iterates the smaller vector and probes the larger, so the cost is
+    O(min(|a|, |b|)) dict operations — no set algebra, no intermediate
+    intersections.
+    """
+    if len(a) > len(b):
+        a, b = b, a
+    lookup = b.get
+    total = 0
+    for index, count_a in a.items():
+        count_b = lookup(index)
+        if count_b is None:
+            continue
+        smallest = count_a if count_a < count_b else count_b
+        total += smallest if smallest < ways else ways
+    return total
+
+
+def conflict_kernel_per_set(a: SetCounts, b: SetCounts, ways: int) -> SetCounts:
+    """Per-set breakdown of :func:`conflict_kernel` (diagnostics)."""
+    if len(a) > len(b):
+        a, b = b, a
+    lookup = b.get
+    result: SetCounts = {}
+    for index, count_a in a.items():
+        count_b = lookup(index)
+        if count_b is None:
+            continue
+        result[index] = min(count_a, count_b, ways)
+    return result
+
+
+def usage_kernel(counts: SetCounts, ways: int) -> int:
+    """``sum over sets of min(count, L)`` — line-usage bound (Approach 1)."""
+    total = 0
+    for count in counts.values():
+        total += count if count < ways else ways
+    return total
+
+
+def capped_counts(counts: SetCounts, ways: int) -> SetCounts:
+    """Per-set counts clamped at the associativity ``L``."""
+    return {index: (count if count < ways else ways) for index, count in counts.items()}

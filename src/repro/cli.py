@@ -49,6 +49,18 @@ def _budget_from(args: argparse.Namespace):
     )
 
 
+def _store_from(args: argparse.Namespace):
+    if args.no_cache:
+        return None
+    from repro.analysis.store import default_store
+
+    return default_store()
+
+
+def _engine_from(args: argparse.Namespace) -> str:
+    return "exact" if args.exact_paths else "auto"
+
+
 def _report_degradations(ledger) -> None:
     """One stderr line per fallback fired, so stdout stays machine-friendly."""
     for event in ledger.events:
@@ -61,7 +73,8 @@ def cmd_tables(args: argparse.Namespace) -> int:
     from repro.experiments import generate_all_tables
 
     tables = generate_all_tables(
-        include_art=not args.no_art, budget=_budget_from(args)
+        include_art=not args.no_art, budget=_budget_from(args),
+        jobs=args.jobs, store=_store_from(args),
     )
     wanted = set(args.only) if args.only else None
     for key, table in tables.items():
@@ -114,6 +127,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         config,
         budget=_budget_from(args),
         ledger=ledger,
+        store=_store_from(args),
     )
     print(f"workload {args.workload!r}: {workload.description}\n")
     print(task_report(art, include_reuse=args.reuse))
@@ -129,6 +143,9 @@ def cmd_crpd(args: argparse.Namespace) -> int:
         _spec_for(args.experiment),
         miss_penalty=args.penalty,
         budget=_budget_from(args),
+        jobs=args.jobs,
+        store=_store_from(args),
+        path_engine=_engine_from(args),
     )
     print(table2_cache_lines(context).render())
     _report_degradations(context.ledger)
@@ -142,6 +159,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         _spec_for(args.experiment),
         miss_penalty=args.penalty,
         budget=_budget_from(args),
+        jobs=args.jobs,
+        store=_store_from(args),
     )
     horizon = args.horizon or 2 * context.system.hyperperiod
     result = context.simulate(horizon)
@@ -177,7 +196,8 @@ def cmd_report(args: argparse.Namespace) -> int:
         "",
     ]
     for table in generate_all_tables(
-        include_art=not args.no_art, budget=_budget_from(args)
+        include_art=not args.no_art, budget=_budget_from(args),
+        jobs=args.jobs, store=_store_from(args),
     ).values():
         sections.append("```")
         sections.append(table.render())
@@ -232,6 +252,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--time-budget", type=float, default=None, metavar="SECONDS",
         help="wall-clock budget for the whole analysis (default: none)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for task analysis and preemption pairs "
+        "(default: 1, sequential)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk artifact cache (see docs/performance.md)",
+    )
+    parser.add_argument(
+        "--exact-paths", action="store_true",
+        help="recover the exact Eq. 4 bound by branch-and-bound even for "
+        "tasks whose path enumeration tripped --max-paths",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

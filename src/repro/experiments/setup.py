@@ -20,11 +20,15 @@ so that footprint overlaps are partial rather than degenerate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from time import perf_counter
+from typing import TYPE_CHECKING, Callable
 
 from repro.analysis.artifacts import TaskArtifacts, analyze_task
 from repro.analysis.crpd import CRPDAnalyzer
 from repro.cache.config import CacheConfig
+
+if TYPE_CHECKING:
+    from repro.analysis.store import ArtifactStore
 from repro.cache.state import CacheState
 from repro.guard.budget import AnalysisBudget
 from repro.guard.ledger import DegradationLedger
@@ -109,6 +113,9 @@ class ExperimentContext:
     system: TaskSystem
     budget: AnalysisBudget | None = None
     ledger: DegradationLedger = field(default_factory=DegradationLedger)
+    #: Wall-clock seconds spent building + analysing the task set (cache
+    #: hits shrink this; see ``docs/performance.md``).
+    build_seconds: float = 0.0
     _art_cache: dict[int, SimulationResult] = field(default_factory=dict)
 
     @property
@@ -150,11 +157,35 @@ class ExperimentContext:
         return self._art_cache[key]
 
 
+def _analyze_task_worker(args):
+    """Analyse one task in a worker process (module level to pickle).
+
+    The worker re-arms the budget (its own wall clock) and records
+    degradations into a private ledger whose events are merged back into
+    the parent context's ledger in priority order, so the merged ledger is
+    identical to a sequential run's.
+    """
+    name, layout, scenarios, config, budget, store_directory = args
+    ledger = DegradationLedger()
+    store = None
+    if store_directory is not None:
+        from repro.analysis.store import ArtifactStore
+
+        store = ArtifactStore(directory=store_directory)
+    artifacts = analyze_task(
+        layout, scenarios, config, budget=budget, ledger=ledger, store=store
+    )
+    return name, artifacts, ledger.events
+
+
 def build_context(
     spec: ExperimentSpec,
     miss_penalty: int = 20,
     cache: CacheConfig | None = None,
     budget: AnalysisBudget | None = None,
+    jobs: int = 1,
+    store: "ArtifactStore | None" = None,
+    path_engine: str = "auto",
 ) -> ExperimentContext:
     """Build, place and analyse one experiment's task set.
 
@@ -162,7 +193,16 @@ def build_context(
     penalty of an explicit cache config wins over *miss_penalty*).  With
     a *budget* the whole analysis runs guarded: every stage shares one
     wall clock and writes degradations into the context's ledger.
+
+    ``jobs > 1`` fans the per-task analyses out across worker processes
+    (each re-arming the budget locally; the wall clock then counts per
+    task rather than across tasks); artifacts and ledger events merge
+    back in priority order, so results are deterministic.  ``store``
+    short-circuits analyses whose inputs were seen before (see
+    :mod:`repro.analysis.store`); ``path_engine`` is forwarded to the
+    :class:`CRPDAnalyzer`.
     """
+    started = perf_counter()
     config = cache if cache is not None else CacheConfig.scaled_8k(miss_penalty)
     ledger = DegradationLedger()
     clock = budget.start() if budget is not None else None
@@ -171,17 +211,45 @@ def build_context(
     for name in spec.placement_order:
         layout.place(workloads[name].program)
     layouts = {name: layout.layout_of(name) for name in spec.priority_order}
-    artifacts = {
-        name: analyze_task(
-            layouts[name],
-            workloads[name].scenario_map(),
-            config,
-            budget=budget,
-            ledger=ledger,
-            clock=clock,
+    if jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        store_directory = (
+            store.directory if store is not None and store.enabled else None
         )
-        for name in spec.priority_order
-    }
+        work = [
+            (
+                name,
+                layouts[name],
+                workloads[name].scenario_map(),
+                config,
+                budget,
+                store_directory,
+            )
+            for name in spec.priority_order
+        ]
+        artifacts = {}
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(work))
+        ) as pool:
+            for name, task_artifacts, events in pool.map(
+                _analyze_task_worker, work
+            ):
+                artifacts[name] = task_artifacts
+                ledger.events.extend(events)
+    else:
+        artifacts = {
+            name: analyze_task(
+                layouts[name],
+                workloads[name].scenario_map(),
+                config,
+                budget=budget,
+                ledger=ledger,
+                clock=clock,
+                store=store,
+            )
+            for name in spec.priority_order
+        }
     priorities = spec.priorities()
     tasks = [
         TaskSpec(
@@ -206,8 +274,10 @@ def build_context(
             budget=budget,
             ledger=ledger,
             clock=clock,
+            path_engine=path_engine,
         ),
         system=TaskSystem(tasks=tasks),
         budget=budget,
         ledger=ledger,
+        build_seconds=perf_counter() - started,
     )

@@ -11,8 +11,12 @@ check against the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.analysis.crpd import Approach
+
+if TYPE_CHECKING:
+    from repro.analysis.store import ArtifactStore
 from repro.experiments.reporting import Table, percent_improvement
 from repro.experiments.setup import (
     ALL_SPECS,
@@ -35,13 +39,19 @@ class ExperimentSuite:
     penalties: tuple[int, ...] = MISS_PENALTIES
     horizon: int | None = None
     budget: AnalysisBudget | None = None
+    jobs: int = 1
+    store: "ArtifactStore | None" = None
     _contexts: dict[int, ExperimentContext] = field(default_factory=dict)
     _wcrt: dict[tuple[int, Approach], SystemWCRT] = field(default_factory=dict)
 
     def context(self, penalty: int) -> ExperimentContext:
         if penalty not in self._contexts:
             self._contexts[penalty] = build_context(
-                self.spec, miss_penalty=penalty, budget=self.budget
+                self.spec,
+                miss_penalty=penalty,
+                budget=self.budget,
+                jobs=self.jobs,
+                store=self.store,
             )
         return self._contexts[penalty]
 
@@ -70,6 +80,18 @@ class ExperimentSuite:
         if any(c.ledger.degraded for c in self._contexts.values()):
             return "conservative"
         return "exact"
+
+    def analysis_seconds(self) -> dict[Approach, float]:
+        """CRPD analysis wall-time per approach, summed over penalties."""
+        totals = {approach: 0.0 for approach in Approach}
+        for context in self._contexts.values():
+            for approach, spent in context.crpd.analysis_seconds.items():
+                totals[approach] += spent
+        return totals
+
+    def build_seconds(self) -> float:
+        """Context build + per-task analysis wall-time, summed."""
+        return sum(c.build_seconds for c in self._contexts.values())
 
     def art(self, penalty: int) -> dict[str, int]:
         """Actual response time per task from the shared-cache simulation."""
@@ -141,7 +163,20 @@ def table2_cache_lines(context: ExperimentContext) -> Table:
     # only complete once they exist — append the soundness notes last.
     table.notes.append(f"soundness: {context.soundness}")
     table.notes.extend(event.describe() for event in context.ledger.events)
+    table.notes.append(_timing_note(context.crpd.analysis_seconds))
+    table.notes.append(
+        f"task analysis wall-time: {context.build_seconds * 1000:.1f} ms"
+    )
     return table
+
+
+def _timing_note(seconds: dict[Approach, float]) -> str:
+    """Render per-approach CRPD analysis wall-time as one table note."""
+    parts = ", ".join(
+        f"App{approach.value}={seconds[approach] * 1000:.2f} ms"
+        for approach in Approach
+    )
+    return f"analysis wall-time per approach: {parts}"
 
 
 # ----------------------------------------------------------------------
@@ -166,6 +201,11 @@ def table_wcrt(suite: ExperimentSuite, include_art: bool = True) -> Table:
                 row.append(art[task])
             table.add_row(*row)
     table.notes.append(f"soundness: {suite.soundness()}")
+    table.notes.append(_timing_note(suite.analysis_seconds()))
+    table.notes.append(
+        f"task analysis wall-time: {suite.build_seconds() * 1000:.1f} ms "
+        "(all penalties)"
+    )
     return table
 
 
@@ -197,11 +237,14 @@ def generate_all_tables(
     horizon: int | None = None,
     include_art: bool = True,
     budget: AnalysisBudget | None = None,
+    jobs: int = 1,
+    store: "ArtifactStore | None" = None,
 ) -> dict[str, Table]:
     """Regenerate every table of the paper; keys 'table1' .. 'table6'."""
     suites = {
         spec.key: ExperimentSuite(
-            spec, penalties=penalties, horizon=horizon, budget=budget
+            spec, penalties=penalties, horizon=horizon, budget=budget,
+            jobs=jobs, store=store,
         )
         for spec in ALL_SPECS
     }

@@ -12,7 +12,7 @@ choices that select the path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Union
 
 from repro.errors import PathExplosionError
 from repro.program.builder import (
@@ -25,10 +25,14 @@ from repro.program.builder import (
 )
 
 __all__ = [
+    "ChoiceStep",
     "PathExplosionError",
     "PathProfile",
     "Segment",
+    "UnconditionalStep",
     "enumerate_path_profiles",
+    "flatten_path_steps",
+    "merged_labels",
     "path_footprint",
     "sfp_prs_segments",
 ]
@@ -53,8 +57,19 @@ class PathProfile:
     choices: tuple[str, ...] = ()
 
     def labels(self) -> frozenset[str]:
-        """Blocks executed at least once along this path."""
-        return frozenset(label for label, count in self.counts.items() if count > 0)
+        """Blocks executed at least once along this path.
+
+        Memoised: every (preemption pair × path) evaluation asks for the
+        label set, so it is computed once per profile.  The cache lives in
+        ``__dict__`` rather than a field, keeping ``eq``/``hash`` untouched.
+        """
+        cached = self.__dict__.get("_labels")
+        if cached is None:
+            cached = frozenset(
+                label for label, count in self.counts.items() if count > 0
+            )
+            object.__setattr__(self, "_labels", cached)
+        return cached
 
     def total_executions(self) -> int:
         return sum(self.counts.values())
@@ -176,6 +191,109 @@ def path_footprint(
     for label in profile.labels():
         blocks.update(per_node_blocks.get(label, ()))
     return frozenset(blocks)
+
+
+# ----------------------------------------------------------------------
+# Step view for branch-and-bound path search
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class UnconditionalStep:
+    """A stretch of the program every feasible path executes.
+
+    ``labels`` is the set of block labels touched: straight-line leaves,
+    plus collapsed fixed-bound loops (header + merged body footprint, the
+    same over-approximation :func:`_merge_max` applies during enumeration).
+    """
+
+    labels: frozenset[str]
+
+
+@dataclass(frozen=True)
+class ChoiceStep:
+    """An input-dependent branch: exactly one alternative executes.
+
+    Each alternative is itself a step sequence (possibly empty, for an
+    if-without-else), so nested top-level branches stay nested choices
+    rather than being multiplied out eagerly.
+    """
+
+    alternatives: tuple[tuple["PathStep", ...], ...]
+
+
+PathStep = Union[UnconditionalStep, ChoiceStep]
+
+
+def merged_labels(node: StructureNode) -> frozenset[str]:
+    """Union of block labels over every feasible path through *node*.
+
+    Matches the label-level semantics of :func:`_enumerate`: a zero-bound
+    loop contributes its header only, a bound>=1 loop contributes header
+    plus the merged body footprint, and an if/else contributes both arms.
+    """
+    if isinstance(node, LeafNode):
+        return frozenset((node.label,))
+    if isinstance(node, SeqNode):
+        merged: set[str] = set()
+        for child in node.children:
+            merged.update(merged_labels(child))
+        return frozenset(merged)
+    if isinstance(node, IfElseNode):
+        labels = merged_labels(node.then_tree)
+        if node.else_tree is not None:
+            labels |= merged_labels(node.else_tree)
+        return labels
+    if isinstance(node, LoopNode):
+        if node.bound == 0:
+            return frozenset((node.header_label,))
+        return frozenset((node.header_label,)) | merged_labels(node.body_tree)
+    raise TypeError(f"unknown structure node {node!r}")
+
+
+def _flatten(node: StructureNode) -> list["UnconditionalStep | ChoiceStep"]:
+    if isinstance(node, LeafNode):
+        return [UnconditionalStep(labels=frozenset((node.label,)))]
+    if isinstance(node, SeqNode):
+        steps: list[UnconditionalStep | ChoiceStep] = []
+        for child in node.children:
+            for step in _flatten(child):
+                # Coalesce adjacent unconditional steps so the search walks
+                # one step per choice region, not one per leaf.
+                if (
+                    steps
+                    and isinstance(step, UnconditionalStep)
+                    and isinstance(steps[-1], UnconditionalStep)
+                ):
+                    steps[-1] = UnconditionalStep(
+                        labels=steps[-1].labels | step.labels
+                    )
+                else:
+                    steps.append(step)
+        return steps
+    if isinstance(node, IfElseNode):
+        then_steps = tuple(_flatten(node.then_tree))
+        if node.else_tree is None:
+            else_steps: tuple[UnconditionalStep | ChoiceStep, ...] = ()
+        else:
+            else_steps = tuple(_flatten(node.else_tree))
+        return [ChoiceStep(alternatives=(then_steps, else_steps))]
+    if isinstance(node, LoopNode):
+        # A fixed-bound loop is one feasible-path segment: enumeration
+        # collapses its body via _merge_max, so at the label level the loop
+        # contributes a fixed footprint regardless of internal branches.
+        return [UnconditionalStep(labels=merged_labels(node))]
+    raise TypeError(f"unknown structure node {node!r}")
+
+
+def flatten_path_steps(program: Program) -> tuple["UnconditionalStep | ChoiceStep", ...]:
+    """Flatten *program*'s structure tree into a branch-and-bound step list.
+
+    The feasible paths of the step list are exactly the feasible paths of
+    :func:`enumerate_path_profiles` at the label-set level: each path picks
+    one alternative per (possibly nested) :class:`ChoiceStep` and unions the
+    labels of every step along the way.  Unlike enumeration this never
+    materialises the cross product, so a search over the steps can prune.
+    """
+    return tuple(_flatten(program.structure))
 
 
 # ----------------------------------------------------------------------

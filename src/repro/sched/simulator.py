@@ -13,6 +13,7 @@ include cache reload misses — these are the paper's Actual Response Times
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
 from typing import TYPE_CHECKING
 
 from repro.cache.state import CacheState
@@ -64,6 +65,182 @@ def _jitter_offset(max_jitter: int, job_index: int) -> int:
     return (job_index * 2654435761) % (max_jitter + 1)
 
 
+# ----------------------------------------------------------------------
+# Scheduler queues.  Two interchangeable implementations each: the
+# O(log n) heap versions the simulator uses by default, and the original
+# linear scans, kept as the executable specification — the equivalence
+# tests assert both engines produce identical event streams.
+#
+# Tie-breaking contract (what makes the heaps observably identical to the
+# scans): the ready queue orders by (priority, release, index) exactly as
+# ``min`` did, with a monotone sequence number standing in for "first in
+# list order" on full ties; the release queue orders same-instant releases
+# by task declaration order, which is where the scan's per-binding loop
+# put them after the final stable sort by time.
+# ----------------------------------------------------------------------
+class _HeapReadyQueue:
+    """Priority-ordered ready jobs: O(log n) push/pop, O(1) peek."""
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._seq = 0
+
+    def push(self, job: "_Job") -> None:
+        heappush(
+            self._heap,
+            (job.priority, job.release, job.index, self._seq, job),
+        )
+        self._seq += 1
+
+    def peek(self) -> "_Job | None":
+        return self._heap[0][4] if self._heap else None
+
+    def remove(self, job: "_Job") -> None:
+        if self._heap and self._heap[0][4] is job:
+            heappop(self._heap)
+            return
+        # Unreachable through the dispatch protocol (only the minimum is
+        # ever dispatched), but stay correct if that invariant moves.
+        self._heap = [entry for entry in self._heap if entry[4] is not job]
+        heapify(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class _ScanReadyQueue:
+    """Reference list-backed ready queue (the original linear scan)."""
+
+    __slots__ = ("_jobs",)
+
+    def __init__(self) -> None:
+        self._jobs: list["_Job"] = []
+
+    def push(self, job: "_Job") -> None:
+        self._jobs.append(job)
+
+    def peek(self) -> "_Job | None":
+        if not self._jobs:
+            return None
+        return min(self._jobs, key=lambda job: (job.priority, job.release, job.index))
+
+    def remove(self, job: "_Job") -> None:
+        self._jobs.remove(job)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+
+class _HeapWaitingQueue:
+    """Released but jitter-delayed jobs, ordered by when they become ready."""
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._seq = 0
+
+    def push(self, job: "_Job") -> None:
+        heappush(self._heap, (job.ready, self._seq, job))
+        self._seq += 1
+
+    def pop_due(self, time: int) -> list["_Job"]:
+        due: list = []
+        while self._heap and self._heap[0][0] <= time:
+            due.append(heappop(self._heap))
+        # Hand jobs over in insertion order (the scan walked its list),
+        # not readiness order, so ready-queue tie-breaking is unchanged.
+        due.sort(key=lambda entry: entry[1])
+        return [entry[2] for entry in due]
+
+    def earliest(self) -> "int | None":
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class _ScanWaitingQueue:
+    """Reference list-backed waiting queue."""
+
+    __slots__ = ("_jobs",)
+
+    def __init__(self) -> None:
+        self._jobs: list["_Job"] = []
+
+    def push(self, job: "_Job") -> None:
+        self._jobs.append(job)
+
+    def pop_due(self, time: int) -> list["_Job"]:
+        due = [job for job in self._jobs if job.ready <= time]
+        for job in due:
+            self._jobs.remove(job)
+        return due
+
+    def earliest(self) -> "int | None":
+        if not self._jobs:
+            return None
+        return min(job.ready for job in self._jobs)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+
+class _HeapReleaseQueue:
+    """Upcoming period boundaries of every task, as a single time heap."""
+
+    __slots__ = ("_heap", "horizon")
+
+    def __init__(self, bindings: "dict[str, TaskBinding]", horizon: int) -> None:
+        self._heap: list = []
+        for order, (name, binding) in enumerate(bindings.items()):
+            if binding.offset < horizon:
+                self._heap.append((binding.offset, order, name, binding))
+        heapify(self._heap)
+        self.horizon = horizon
+
+    def pop_due(self, time: int) -> list[tuple[int, str, "TaskBinding"]]:
+        due = []
+        while self._heap and self._heap[0][0] <= time:
+            release_time, order, name, binding = heappop(self._heap)
+            due.append((release_time, name, binding))
+            next_time = release_time + binding.spec.period
+            if next_time < self.horizon:
+                heappush(self._heap, (next_time, order, name, binding))
+        return due
+
+    def earliest(self) -> "int | None":
+        return self._heap[0][0] if self._heap else None
+
+
+class _ScanReleaseQueue:
+    """Reference dict-of-next-release queue (the original while loops)."""
+
+    __slots__ = ("_bindings", "_next", "horizon")
+
+    def __init__(self, bindings: "dict[str, TaskBinding]", horizon: int) -> None:
+        self._bindings = bindings
+        self._next = {name: binding.offset for name, binding in bindings.items()}
+        self.horizon = horizon
+
+    def pop_due(self, time: int) -> list[tuple[int, str, "TaskBinding"]]:
+        due = []
+        for name, binding in self._bindings.items():
+            while self._next[name] <= time and self._next[name] < self.horizon:
+                due.append((self._next[name], name, binding))
+                self._next[name] += binding.spec.period
+        return due
+
+    def earliest(self) -> "int | None":
+        pending = [t for t in self._next.values() if t < self.horizon]
+        return min(pending) if pending else None
+
+
+QUEUE_IMPLS = ("heap", "scan")
+
+
 @dataclass
 class SimulationResult:
     """Outcome of one scheduler run."""
@@ -101,6 +278,9 @@ class Simulator:
             to the preempting job, once resuming the preempted one).  The
             switch from idle is free, matching Equation 7 which charges
             switches only against preempting jobs.
+        queue_impl: ``"heap"`` (default, O(log n) queues) or ``"scan"``
+            (the original linear scans, kept as the executable
+            specification the heap engine is tested against).
     """
 
     def __init__(
@@ -108,9 +288,15 @@ class Simulator:
         bindings: list[TaskBinding],
         cache: CacheState,
         context_switch_cycles: int = 0,
+        queue_impl: str = "heap",
     ):
         if not bindings:
             raise ConfigError("no tasks to simulate")
+        if queue_impl not in QUEUE_IMPLS:
+            raise ConfigError(
+                f"queue_impl must be one of {QUEUE_IMPLS}, got {queue_impl!r}"
+            )
+        self.queue_impl = queue_impl
         names = [binding.spec.name for binding in bindings]
         if len(set(names)) != len(names):
             raise ConfigError(f"duplicate task names: {names}")
@@ -157,40 +343,37 @@ class Simulator:
         steps = 0
         events: list[SchedulerEvent] = []
         records: list[JobRecord] = []
-        ready: list[_Job] = []
-        waiting: list[_Job] = []  # released but jitter-delayed
-        next_release = {
-            name: binding.offset for name, binding in self.bindings.items()
-        }
+        if self.queue_impl == "heap":
+            ready: "_HeapReadyQueue | _ScanReadyQueue" = _HeapReadyQueue()
+            waiting: "_HeapWaitingQueue | _ScanWaitingQueue" = _HeapWaitingQueue()
+            releases: "_HeapReleaseQueue | _ScanReleaseQueue" = _HeapReleaseQueue(
+                self.bindings, horizon
+            )
+        else:
+            ready = _ScanReadyQueue()
+            waiting = _ScanWaitingQueue()
+            releases = _ScanReleaseQueue(self.bindings, horizon)
         job_counter = {name: 0 for name in self.bindings}
         running: _Job | None = None
 
         def release_due() -> None:
-            for name in self.bindings:
-                binding = self.bindings[name]
-                while next_release[name] <= time and next_release[name] < horizon:
-                    release_time = next_release[name]
-                    job = self._make_job(binding, job_counter[name], release_time)
-                    job_counter[name] += 1
-                    next_release[name] += binding.spec.period
-                    waiting.append(job)
-                    events.append(
-                        SchedulerEvent(release_time, EventKind.RELEASE, name, job.index)
-                    )
-            for job in list(waiting):
-                if job.ready <= time:
-                    waiting.remove(job)
-                    ready.append(job)
+            for release_time, name, binding in releases.pop_due(time):
+                job = self._make_job(binding, job_counter[name], release_time)
+                job_counter[name] += 1
+                waiting.push(job)
+                events.append(
+                    SchedulerEvent(release_time, EventKind.RELEASE, name, job.index)
+                )
+            for job in waiting.pop_due(time):
+                ready.push(job)
 
         def earliest_release() -> int | None:
-            pending = [t for t in next_release.values() if t < horizon]
-            pending.extend(job.ready for job in waiting)
-            return min(pending) if pending else None
+            candidates = [
+                t for t in (releases.earliest(), waiting.earliest()) if t is not None
+            ]
+            return min(candidates) if candidates else None
 
-        def pick() -> _Job | None:
-            if not ready:
-                return None
-            return min(ready, key=lambda job: (job.priority, job.release, job.index))
+        pick = ready.peek
 
         dispatched_before = False
         while True:
@@ -214,12 +397,12 @@ class Simulator:
                             time, EventKind.PREEMPT, running.task, running.index
                         )
                     )
-                    ready.append(running)
+                    ready.push(running)
                     running = None
 
             if running is None:
                 assert job is not None
-                ready.remove(job)
+                ready.remove(job)  # always the minimum: O(log n) on the heap
                 if self.ccs and dispatched_before:
                     events.append(
                         SchedulerEvent(
