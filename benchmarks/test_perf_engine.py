@@ -110,6 +110,16 @@ def _bench_path_bomb():
     pruned = max_path_conflict_pruned(useful, tripped)
     exact_seconds = perf_counter() - started
 
+    # Separate traced run (timings above stay tracing-free, see
+    # docs/performance.md): the pruned engine must finish within its own
+    # node budget on the bomb — budget_tripped=False is a regression pin.
+    from repro.obs import observed
+
+    with observed() as (_, metrics):
+        max_path_conflict_pruned(useful, tripped)
+    budget_tripped = metrics.to_dict()["gauges"]["pathcost.budget_tripped"]
+    assert budget_tripped is False, "pruned engine tripped its node budget"
+
     full = analyze_task(  # raised budget: enumerate all 8192 paths
         layout, {"s": inputs}, config, budget=AnalysisBudget(max_paths=16384)
     )
@@ -126,6 +136,7 @@ def _bench_path_bomb():
         "pruned_branches": pruned.pruned_branches,
         "exact_engine_seconds": round(exact_seconds, 4),
         "enumerate_seconds": round(enumerate_seconds, 4),
+        "budget_tripped": budget_tripped,
     }
 
 

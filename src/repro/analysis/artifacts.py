@@ -27,6 +27,7 @@ from repro.analysis.wcet import Scenarios, WCETResult, measure_wcet
 from repro.cache.ciip import CIIP
 from repro.cache.config import CacheConfig
 from repro.errors import PathExplosionError
+from repro.obs import STATE as _OBS
 from repro.program.builder import Program
 from repro.program.layout import ProgramLayout
 from repro.program.paths import PathProfile, enumerate_path_profiles
@@ -169,63 +170,88 @@ def analyze_task(
         if clock is None:
             clock = budget.start()
     strict = budget.strict if budget is not None else False
-    key = None
-    if store is not None and store.enabled:
-        from repro.analysis.store import CachedAnalysis, artifact_key
+    with _OBS.tracer.span("analyze.task", task=program.name) as span:
+        key = None
+        if store is not None and store.enabled:
+            from repro.analysis.store import CachedAnalysis, artifact_key
 
-        key = artifact_key(
-            layout, scenarios, config, max_steps, path_limit, strict
-        )
-        cached = store.get(key)
-        if cached is not None:
-            if ledger is not None:
+            key = artifact_key(
+                layout, scenarios, config, max_steps, path_limit, strict
+            )
+            cached = store.get(key)
+            if cached is not None:
                 for event in cached.events:
-                    ledger.events.append(event)
-            return cached.artifacts
-    if clock is not None:
-        clock.check(f"wcet:{program.name}")
-    wcet = measure_wcet(layout, scenarios, config, max_steps=max_steps)
-    if clock is not None:
-        clock.check(f"dataflow:{program.name}")
-    aggregate = NodeTraceAggregate.from_recorders(config, wcet.traces.values())
-    footprint = aggregate.footprint()
-    dataflow = solve_rmb_lmb(program.cfg, aggregate, config)
-    useful = compute_useful_blocks(program.cfg, dataflow, aggregate)
-    path_profiles: list[PathProfile] = []
-    path_complete = True
-    local_events = []
-    try:
-        path_profiles = enumerate_path_profiles(program, limit=path_limit)
-    except PathExplosionError as error:
-        if budget is None or budget.strict:
-            raise
-        path_complete = False
-        from repro.guard.ledger import DegradationEvent
-
-        event = DegradationEvent(
-            stage=f"paths:{program.name}",
-            budget="max_paths",
-            reason=str(error),
-            fallback="path-incomplete artifacts (Eq. 4 -> MUMBS∩CIIP)",
+                    if ledger is not None:
+                        ledger.events.append(event)
+                    # Replayed degradations become span events too, so a
+                    # cached trace tells the same story as a cold one.
+                    span.event(
+                        "ledger.degradation",
+                        stage=event.stage,
+                        budget=event.budget,
+                        fallback=event.fallback,
+                        replayed=True,
+                    )
+                span.set(cache_hit=True)
+                return cached.artifacts
+        span.set(cache_hit=False)
+        if clock is not None:
+            clock.check(f"wcet:{program.name}")
+        wcet = measure_wcet(layout, scenarios, config, max_steps=max_steps)
+        if clock is not None:
+            clock.check(f"dataflow:{program.name}")
+        aggregate = NodeTraceAggregate.from_recorders(
+            config, wcet.traces.values()
         )
-        local_events.append(event)
-        if ledger is not None:
-            ledger.events.append(event)
-    artifacts = TaskArtifacts(
-        name=program.name,
-        layout=layout,
-        config=config,
-        wcet=wcet,
-        aggregate=aggregate,
-        footprint=footprint,
-        footprint_ciip=CIIP.from_addresses(config, footprint),
-        dataflow=dataflow,
-        useful=useful,
-        path_profiles=path_profiles,
-        path_enumeration_complete=path_complete,
-    )
-    if key is not None and store is not None:
-        from repro.analysis.store import CachedAnalysis
+        footprint = aggregate.footprint()
+        dataflow = solve_rmb_lmb(program.cfg, aggregate, config)
+        useful = compute_useful_blocks(program.cfg, dataflow, aggregate)
+        path_profiles: list[PathProfile] = []
+        path_complete = True
+        local_events = []
+        try:
+            path_profiles = enumerate_path_profiles(program, limit=path_limit)
+        except PathExplosionError as error:
+            if budget is None or budget.strict:
+                raise
+            path_complete = False
+            from repro.guard.ledger import DegradationEvent
 
-        store.put(key, CachedAnalysis(artifacts, tuple(local_events)))
-    return artifacts
+            event = DegradationEvent(
+                stage=f"paths:{program.name}",
+                budget="max_paths",
+                reason=str(error),
+                fallback="path-incomplete artifacts (Eq. 4 -> MUMBS∩CIIP)",
+            )
+            local_events.append(event)
+            if ledger is not None:
+                ledger.events.append(event)
+            span.event(
+                "ledger.degradation",
+                stage=event.stage,
+                budget=event.budget,
+                fallback=event.fallback,
+            )
+        artifacts = TaskArtifacts(
+            name=program.name,
+            layout=layout,
+            config=config,
+            wcet=wcet,
+            aggregate=aggregate,
+            footprint=footprint,
+            footprint_ciip=CIIP.from_addresses(config, footprint),
+            dataflow=dataflow,
+            useful=useful,
+            path_profiles=path_profiles,
+            path_enumeration_complete=path_complete,
+        )
+        span.set(
+            wcet_cycles=wcet.cycles,
+            feasible_paths=len(path_profiles),
+            path_enumeration_complete=path_complete,
+        )
+        if key is not None and store is not None:
+            from repro.analysis.store import CachedAnalysis
+
+            store.put(key, CachedAnalysis(artifacts, tuple(local_events)))
+        return artifacts

@@ -32,6 +32,7 @@ from repro.analysis.artifacts import TaskArtifacts
 from repro.analysis.intertask import approach1_lines, approach2_lines, eq3_lines
 from repro.analysis.pathcost import approach4_lines
 from repro.errors import BudgetExceeded, ConfigError
+from repro.obs import STATE as _OBS
 
 if TYPE_CHECKING:
     from repro.guard.budget import AnalysisBudget, BudgetClock
@@ -171,11 +172,26 @@ class CRPDAnalyzer:
         approach = Approach(approach)  # accept plain ints like 4
         key = (preempted, preempting, approach)
         if key not in self._lines_cache:
-            started = time.perf_counter()
-            self._lines_cache[key] = self._compute_lines(
-                self._artifacts(preempted), self._artifacts(preempting), approach
-            )
-            self.analysis_seconds[approach] += time.perf_counter() - started
+            # The span brackets exactly the region analysis_seconds times,
+            # so trace durations reconcile with the reported wall times
+            # (pinned by the obs integration property tests).
+            with _OBS.tracer.span(
+                "crpd.pair",
+                preempted=preempted,
+                preempting=preempting,
+                approach=approach.value,
+            ) as span:
+                started = time.perf_counter()
+                lines = self._compute_lines(
+                    self._artifacts(preempted),
+                    self._artifacts(preempting),
+                    approach,
+                )
+                self.analysis_seconds[approach] += time.perf_counter() - started
+                span.set(lines=lines)
+            if _OBS.enabled:
+                _OBS.metrics.counter("crpd.pairs_computed").inc()
+            self._lines_cache[key] = lines
         return self._lines_cache[key]
 
     def _compute_lines(
@@ -324,22 +340,37 @@ class CRPDAnalyzer:
         from concurrent.futures import ProcessPoolExecutor
 
         estimates: list[PreemptionEstimate] = []
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(pairs)),
-            initializer=_init_pair_worker,
-            initargs=(self.tasks, self.mumbs_mode, self.budget,
-                      self.path_engine),
-        ) as pool:
-            for estimate, events, seconds in pool.map(
-                _estimate_pair_worker, pairs
-            ):
-                estimates.append(estimate)
-                for approach, lines in estimate.lines.items():
-                    key = (estimate.preempted, estimate.preempting, approach)
-                    self._lines_cache.setdefault(key, lines)
-                self.ledger.events.extend(events)
-                for approach, spent in seconds.items():
-                    self.analysis_seconds[approach] += spent
+        with _OBS.tracer.span(
+            "crpd.estimate_all_pairs", jobs=jobs, pairs=len(pairs)
+        ) as fan_span:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(pairs)),
+                initializer=_init_pair_worker,
+                initargs=(self.tasks, self.mumbs_mode, self.budget,
+                          self.path_engine, _OBS.enabled),
+            ) as pool:
+                # pool.map yields in submission order, so spans are adopted
+                # and metrics merged deterministically regardless of which
+                # worker finished first.
+                for estimate, events, seconds, records, snapshot in pool.map(
+                    _estimate_pair_worker, pairs
+                ):
+                    estimates.append(estimate)
+                    for approach, lines in estimate.lines.items():
+                        key = (
+                            estimate.preempted, estimate.preempting, approach
+                        )
+                        self._lines_cache.setdefault(key, lines)
+                    self.ledger.events.extend(events)
+                    for approach, spent in seconds.items():
+                        self.analysis_seconds[approach] += spent
+                    if _OBS.enabled:
+                        if records:
+                            _OBS.tracer.adopt(
+                                records, parent_id=fan_span.span_id
+                            )
+                        if snapshot is not None:
+                            _OBS.metrics.merge(snapshot)
         return estimates
 
 
@@ -350,6 +381,7 @@ class CRPDAnalyzer:
 # the pool initializer and reuses it for every pair it is handed.
 # ----------------------------------------------------------------------
 _PAIR_WORKER_ANALYZER: "CRPDAnalyzer | None" = None
+_PAIR_WORKER_OBS = False
 
 
 def _init_pair_worker(
@@ -357,11 +389,13 @@ def _init_pair_worker(
     mumbs_mode: str,
     budget: "AnalysisBudget | None",
     path_engine: str,
+    obs_enabled: bool = False,
 ) -> None:
-    global _PAIR_WORKER_ANALYZER
+    global _PAIR_WORKER_ANALYZER, _PAIR_WORKER_OBS
     _PAIR_WORKER_ANALYZER = CRPDAnalyzer(
         tasks, mumbs_mode=mumbs_mode, budget=budget, path_engine=path_engine
     )
+    _PAIR_WORKER_OBS = obs_enabled
 
 
 def _estimate_pair_worker(pair: tuple[str, str]):
@@ -369,10 +403,26 @@ def _estimate_pair_worker(pair: tuple[str, str]):
     assert analyzer is not None, "worker initializer did not run"
     events_before = len(analyzer.ledger.events)
     seconds_before = dict(analyzer.analysis_seconds)
-    estimate = analyzer.estimate_pair(*pair)
+    records: tuple = ()
+    snapshot = None
+    if _PAIR_WORKER_OBS:
+        # Fresh per-pair observability: the parent adopts the returned
+        # spans (re-parented under its fan-out span) and merges the
+        # metrics snapshot, in pair-submission order.
+        from repro.obs import install, uninstall
+
+        tracer, metrics = install()
+        try:
+            estimate = analyzer.estimate_pair(*pair)
+        finally:
+            uninstall()
+        records = tuple(tracer.records)
+        snapshot = metrics.to_dict()
+    else:
+        estimate = analyzer.estimate_pair(*pair)
     events = analyzer.ledger.events[events_before:]
     seconds = {
         approach: analyzer.analysis_seconds[approach] - seconds_before[approach]
         for approach in ALL_APPROACHES
     }
-    return estimate, events, seconds
+    return estimate, events, seconds, records, snapshot

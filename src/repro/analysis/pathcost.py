@@ -17,6 +17,7 @@ from typing import Dict, Tuple
 from repro.analysis.artifacts import TaskArtifacts
 from repro.cache.ciip import CIIP, conflict_bound
 from repro.errors import ConfigError, PathExplosionError
+from repro.obs import STATE as _OBS
 from repro.program.paths import (
     ChoiceStep,
     PathProfile,
@@ -285,10 +286,39 @@ def max_path_conflict_pruned(
             )
 
     saturated = False
-    try:
-        walk(steps, 0, (), None)
-    except _Saturated:
-        saturated = True
+    with _OBS.tracer.span("pathcost.pruned", task=preempting.name) as span:
+        try:
+            walk(steps, 0, (), None)
+        except _Saturated:
+            saturated = True
+        except PathExplosionError:
+            # The search's own node budget tripped — distinct from the path
+            # *enumeration* budget, which this engine exists to sidestep.
+            if _OBS.enabled:
+                _OBS.metrics.counter("pathcost.budget_trips").inc()
+                _OBS.metrics.gauge("pathcost.budget_tripped").set(True)
+            span.set(budget_tripped=True)
+            raise
+        span.set(
+            cost=max(state["best"], 0),
+            nodes_visited=state["explored"],
+            pruned_branches=state["pruned"],
+            expansions=state["expanded"],
+            saturated=saturated,
+            budget_tripped=False,
+        )
+    if _OBS.enabled:
+        metrics = _OBS.metrics
+        # "Nodes visited" are completed feasible paths, so the invariant
+        # nodes_visited <= feasible_paths holds (the integration property
+        # tests pin it); expansions counts step expansions of the search.
+        metrics.counter("pathcost.nodes_visited").inc(state["explored"])
+        metrics.counter("pathcost.pruned_branches").inc(state["pruned"])
+        metrics.counter("pathcost.expansions").inc(state["expanded"])
+        metrics.counter("pathcost.searches").inc()
+        if saturated:
+            metrics.counter("pathcost.saturations").inc()
+        metrics.gauge("pathcost.budget_tripped").set(False)
     return PrunedPathResult(
         cost=max(state["best"], 0),
         explored_paths=state["explored"],

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.analysis.artifacts import TaskArtifacts
 from repro.analysis.crpd import ALL_APPROACHES, CRPDAnalyzer
+from repro.obs import STATE as _OBS
 from repro.program.paths import sfp_prs_segments
 from repro.vm.traceio import merge_traces, reuse_profile, set_pressure
 from repro.wcrt.explain import explain_wcrt
@@ -156,4 +157,21 @@ def system_report(
     for approach in ALL_APPROACHES:
         spent = crpd.analysis_seconds[approach]
         lines.append(f"  Approach {approach.value}: {spent * 1000:8.2f} ms")
+
+    if _OBS.enabled:
+        # Live span/metric snapshot when the caller runs under
+        # --trace-out/--metrics-out (see docs/observability.md).
+        from repro.obs.summary import summarize_spans
+
+        lines.append("")
+        lines.append("[observability]")
+        for summary in summarize_spans(_OBS.tracer.records):
+            lines.append(
+                f"  span {summary.name:28s} x{summary.count:<5d} "
+                f"total {summary.total_us / 1000:9.2f} ms  "
+                f"max {summary.max_us / 1000:8.2f} ms"
+            )
+        counters = _OBS.metrics.to_dict().get("counters", {})
+        for name, value in counters.items():
+            lines.append(f"  counter {name:30s} {value}")
     return "\n".join(lines)

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.cache.config import CacheConfig
+from repro.obs import profiled
 from repro.program.cfg import ControlFlowGraph
 from repro.vm.trace import NodeTraceAggregate
 
@@ -190,6 +191,7 @@ def _apply_node(
     return out
 
 
+@profiled("analyze.dataflow")
 def solve_rmb_lmb(
     cfg: ControlFlowGraph,
     aggregate: NodeTraceAggregate,

@@ -46,6 +46,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.analysis.wcet import Scenarios
 from repro.cache.config import CacheConfig
+from repro.obs import STATE as _OBS
 from repro.program.layout import ProgramLayout
 
 if TYPE_CHECKING:
@@ -150,9 +151,18 @@ class ArtifactStore:
     enabled: bool = True
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
     _memory: "OrderedDict[str, CachedAnalysis]" = field(
         default_factory=OrderedDict, repr=False
     )
+
+    @property
+    def gets(self) -> int:
+        """Lookups answered (hit or miss) — the honesty invariant is
+        ``gets == hits + misses``, asserted by the obs property tests."""
+        return self.hits + self.misses
 
     def _path_for(self, key: str) -> Optional[Path]:
         if self.directory is None:
@@ -163,45 +173,65 @@ class ArtifactStore:
         """Look *key* up, memory first, then disk; ``None`` on miss."""
         if not self.enabled:
             return None
+        if _OBS.enabled:
+            _OBS.metrics.counter("store.gets").inc()
         entry = self._memory.get(key)
         if entry is not None:
             self._memory.move_to_end(key)
-            self.hits += 1
-            return entry
+            return self._hit(entry, tier="memory")
         path = self._path_for(key)
         if path is not None and path.exists():
+            payload = None
             try:
-                with path.open("rb") as handle:
-                    entry = pickle.load(handle)
+                payload = path.read_bytes()
+                entry = pickle.loads(payload)
             except Exception:
                 entry = None  # corrupt/unreadable entry: treat as a miss
             if isinstance(entry, CachedAnalysis):
                 self._remember(key, entry)
-                self.hits += 1
-                return entry
+                self.bytes_read += len(payload)
+                if _OBS.enabled:
+                    _OBS.metrics.counter("store.bytes_read").inc(len(payload))
+                return self._hit(entry, tier="disk")
         self.misses += 1
+        if _OBS.enabled:
+            _OBS.metrics.counter("store.misses").inc()
         return None
+
+    def _hit(self, entry: CachedAnalysis, tier: str) -> CachedAnalysis:
+        self.hits += 1
+        if _OBS.enabled:
+            _OBS.metrics.counter("store.hits").inc()
+            _OBS.metrics.counter(f"store.hits.{tier}").inc()
+            _OBS.tracer.event("store.hit", tier=tier)
+        return entry
 
     def put(self, key: str, entry: CachedAnalysis) -> None:
         """Store *entry* in memory and (atomically) on disk."""
         if not self.enabled:
             return
+        if _OBS.enabled:
+            _OBS.metrics.counter("store.puts").inc()
         self._remember(key, entry)
         path = self._path_for(key)
         if path is None:
             return
         try:
+            payload = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
             path.parent.mkdir(parents=True, exist_ok=True)
             handle = tempfile.NamedTemporaryFile(
                 mode="wb", dir=str(path.parent), delete=False
             )
             try:
                 with handle:
-                    pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                    handle.write(payload)
                 os.replace(handle.name, path)
             except BaseException:
                 os.unlink(handle.name)
                 raise
+            self.bytes_written += len(payload)
+            if _OBS.enabled:
+                _OBS.metrics.counter("store.bytes_written").inc(len(payload))
         except OSError:
             pass  # disk cache is best-effort; the result is still returned
 
@@ -211,6 +241,9 @@ class ArtifactStore:
         memory.move_to_end(key)
         while len(memory) > self.memory_slots:
             memory.popitem(last=False)
+            self.evictions += 1
+            if _OBS.enabled:
+                _OBS.metrics.counter("store.evictions").inc()
 
     def clear_memory(self) -> None:
         """Drop the in-process LRU (disk entries survive)."""

@@ -32,6 +32,7 @@ from repro.analysis.rmb_lmb import RMBLMBResult, SetStates
 from repro.cache.ciip import CIIP
 from repro.cache.kernels import intern_blocks
 from repro.cache.config import CacheConfig
+from repro.obs import profiled
 from repro.program.cfg import ControlFlowGraph
 from repro.vm.trace import NodeTraceAggregate
 
@@ -152,6 +153,7 @@ def _node_refs_by_set(
     return {index: frozenset(blocks) for index, blocks in refs.items()}
 
 
+@profiled("analyze.useful")
 def compute_useful_blocks(
     cfg: ControlFlowGraph,
     dataflow: RMBLMBResult,

@@ -15,6 +15,7 @@ from typing import Mapping
 
 from repro.errors import ConfigError
 from repro.cache.config import CacheConfig
+from repro.obs import profiled
 from repro.cache.state import CacheState
 from repro.program.layout import ProgramLayout
 from repro.program.paths import enumerate_path_profiles
@@ -39,6 +40,7 @@ class WCETResult:
         return len(self.per_scenario_cycles)
 
 
+@profiled("analyze.wcet")
 def measure_wcet(
     layout: ProgramLayout,
     scenarios: Scenarios,

@@ -19,6 +19,7 @@ from typing import Iterable, Mapping
 
 from repro.errors import ConfigError
 from repro.cache.config import CacheConfig
+from repro.obs import STATE as _OBS
 from repro.cache.kernels import (
     SetCounts,
     conflict_kernel,
@@ -131,6 +132,8 @@ def conflict_bound(a: CIIP, b: CIIP) -> int:
     """
     if a.config != b.config:
         raise ConfigError("CIIPs built for different cache configurations")
+    if _OBS.enabled:
+        _OBS.metrics.counter("kernels.conflict_bound.kernel").inc()
     return conflict_kernel(a.set_counts, b.set_counts, a.config.ways)
 
 
@@ -144,6 +147,8 @@ def conflict_bound_naive(a: CIIP, b: CIIP) -> int:
     """
     if a.config != b.config:
         raise ConfigError("CIIPs built for different cache configurations")
+    if _OBS.enabled:
+        _OBS.metrics.counter("kernels.conflict_bound.naive").inc()
     ways = a.config.ways
     shared = a.indices() & b.indices()
     return sum(min(len(a.group(r)), len(b.group(r)), ways) for r in shared)
@@ -163,4 +168,6 @@ def line_usage_bound(ciip: CIIP) -> int:
     ``min(|m̂_r|, L)``.  This is Approach 1's per-preemption reload count:
     every line the preempting task can touch.
     """
+    if _OBS.enabled:
+        _OBS.metrics.counter("kernels.line_usage_bound.kernel").inc()
     return usage_kernel(ciip.set_counts, ciip.config.ways)

@@ -28,6 +28,8 @@ from __future__ import annotations
 
 from typing import Dict, Mapping
 
+from repro.obs import STATE as _OBS
+
 #: Sparse per-set cardinality vector: cache-set index -> number of blocks.
 SetCounts = Dict[int, int]
 
@@ -43,8 +45,12 @@ def intern_blocks(blocks: frozenset[int]) -> frozenset[int]:
     """
     cached = _BLOCKSET_INTERN.get(blocks)
     if cached is None:
+        if _OBS.enabled:
+            _OBS.metrics.counter("kernels.intern.misses").inc()
         _BLOCKSET_INTERN[blocks] = blocks
         return blocks
+    if _OBS.enabled:
+        _OBS.metrics.counter("kernels.intern.hits").inc()
     return cached
 
 

@@ -8,6 +8,7 @@ Commands:
 * ``analyze``   — full single-task analysis report for one workload.
 * ``crpd``      — Table II (reload-line estimates) for one experiment.
 * ``simulate``  — run the shared-cache scheduler and report ARTs.
+* ``obs``       — observability utilities (``obs summarize trace.jsonl``).
 
 Every analysis command runs *guarded* (see ``docs/robustness.md``):
 budgets are enforced, budget trips degrade to sound conservative bounds
@@ -15,6 +16,12 @@ recorded in a degradation ledger, and failures surface as one-line typed
 diagnostics with distinct exit codes (config=2, budget=3, divergence=4,
 simulation=5) instead of tracebacks.  ``--strict`` turns every would-be
 degradation into a hard typed failure.
+
+``--trace-out FILE`` / ``--metrics-out FILE`` (see ``docs/observability.md``)
+enable the zero-dependency tracing layer for any command: spans, span
+events and metrics from every instrumented stage are exported on exit —
+including when the command fails, so a budget trip leaves a trace
+explaining where the time went.
 """
 
 from __future__ import annotations
@@ -222,6 +229,13 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_obs_summarize(args: argparse.Namespace) -> int:
+    from repro.obs.summary import summarize_trace
+
+    print(summarize_trace(args.trace).render())
+    return 0
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     from repro.experiments.validation import validate_reproduction
 
@@ -266,6 +280,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--exact-paths", action="store_true",
         help="recover the exact Eq. 4 bound by branch-and-bound even for "
         "tasks whose path enumeration tripped --max-paths",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="enable tracing and write the JSONL span trace to FILE "
+        "(see docs/observability.md)",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="enable metrics and write the JSON registry dump to FILE",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -330,6 +353,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the first N scheduler events",
     )
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_obs = sub.add_parser("obs", help="observability utilities")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_summarize = obs_sub.add_parser(
+        "summarize", help="per-phase wall-time breakdown of a JSONL trace"
+    )
+    p_summarize.add_argument("trace", help="trace file from --trace-out")
+    p_summarize.set_defaults(func=cmd_obs_summarize)
     return parser
 
 
@@ -343,11 +374,30 @@ def main(argv: list[str] | None = None) -> int:
 
     parser = build_parser()
     args = parser.parse_args(argv)
+    tracer = metrics = None
+    if args.trace_out is not None or args.metrics_out is not None:
+        from repro.obs import install
+
+        tracer, metrics = install()
     try:
+        if tracer is not None:
+            with tracer.span(f"cli.{args.command}"):
+                return args.func(args)
         return args.func(args)
     except ReproError as error:
         print(f"repro: {error_kind(error)} error: {error}", file=sys.stderr)
         return error.exit_code
+    finally:
+        if tracer is not None:
+            from repro.obs import uninstall
+
+            uninstall()
+            # Export even on failure: a tripped budget leaves a trace
+            # explaining where the time went.  Exit codes are unchanged.
+            if args.trace_out is not None:
+                tracer.export_jsonl(args.trace_out)
+            if args.metrics_out is not None:
+                metrics.export_json(args.metrics_out)
 
 
 if __name__ == "__main__":

@@ -32,6 +32,7 @@ if TYPE_CHECKING:
 from repro.cache.state import CacheState
 from repro.guard.budget import AnalysisBudget
 from repro.guard.ledger import DegradationLedger
+from repro.obs import STATE as _OBS
 from repro.program.layout import ProgramLayout, SystemLayout
 from repro.sched.simulator import SimulationResult, Simulator, TaskBinding
 from repro.wcrt.task import TaskSpec, TaskSystem
@@ -165,17 +166,37 @@ def _analyze_task_worker(args):
     the parent context's ledger in priority order, so the merged ledger is
     identical to a sequential run's.
     """
-    name, layout, scenarios, config, budget, store_directory = args
+    name, layout, scenarios, config, budget, store_directory, obs_enabled = args
     ledger = DegradationLedger()
     store = None
     if store_directory is not None:
         from repro.analysis.store import ArtifactStore
 
         store = ArtifactStore(directory=store_directory)
-    artifacts = analyze_task(
-        layout, scenarios, config, budget=budget, ledger=ledger, store=store
-    )
-    return name, artifacts, ledger.events
+    records: tuple = ()
+    snapshot = None
+    if obs_enabled:
+        # Fresh per-worker observability; the parent adopts the spans
+        # (re-parented under its build_context span) and merges the
+        # metrics snapshot in priority order, so the merged trace is
+        # deterministic.
+        from repro.obs import install, uninstall
+
+        tracer, metrics = install()
+        try:
+            artifacts = analyze_task(
+                layout, scenarios, config, budget=budget, ledger=ledger,
+                store=store,
+            )
+        finally:
+            uninstall()
+        records = tuple(tracer.records)
+        snapshot = metrics.to_dict()
+    else:
+        artifacts = analyze_task(
+            layout, scenarios, config, budget=budget, ledger=ledger, store=store
+        )
+    return name, artifacts, ledger.events, records, snapshot
 
 
 def build_context(
@@ -202,6 +223,28 @@ def build_context(
     :mod:`repro.analysis.store`); ``path_engine`` is forwarded to the
     :class:`CRPDAnalyzer`.
     """
+    # The span brackets exactly the region build_seconds times, so trace
+    # durations reconcile with the context's reported wall time.
+    with _OBS.tracer.span(
+        "experiments.build_context", experiment=spec.key, jobs=jobs
+    ) as span:
+        context = _build_context(
+            spec, miss_penalty, cache, budget, jobs, store, path_engine, span
+        )
+        span.set(build_seconds=context.build_seconds)
+        return context
+
+
+def _build_context(
+    spec: ExperimentSpec,
+    miss_penalty: int,
+    cache: "CacheConfig | None",
+    budget: "AnalysisBudget | None",
+    jobs: int,
+    store: "ArtifactStore | None",
+    path_engine: str,
+    span,
+) -> ExperimentContext:
     started = perf_counter()
     config = cache if cache is not None else CacheConfig.scaled_8k(miss_penalty)
     ledger = DegradationLedger()
@@ -225,6 +268,7 @@ def build_context(
                 config,
                 budget,
                 store_directory,
+                _OBS.enabled,
             )
             for name in spec.priority_order
         ]
@@ -232,11 +276,18 @@ def build_context(
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(work))
         ) as pool:
-            for name, task_artifacts, events in pool.map(
+            # pool.map yields in priority order, so worker spans are
+            # adopted and metrics merged deterministically.
+            for name, task_artifacts, events, records, snapshot in pool.map(
                 _analyze_task_worker, work
             ):
                 artifacts[name] = task_artifacts
                 ledger.events.extend(events)
+                if _OBS.enabled:
+                    if records:
+                        _OBS.tracer.adopt(records, parent_id=span.span_id)
+                    if snapshot is not None:
+                        _OBS.metrics.merge(snapshot)
     else:
         artifacts = {
             name: analyze_task(

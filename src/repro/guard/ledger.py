@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs import STATE as _OBS
+
 SOUNDNESS_EXACT = "exact"
 SOUNDNESS_CONSERVATIVE = "conservative"
 
@@ -48,6 +50,16 @@ class DegradationLedger:
             stage=stage, budget=budget, reason=reason, fallback=fallback
         )
         self.events.append(event)
+        if _OBS.enabled:
+            # Degradations ride the trace as span events, so one artifact
+            # carries both the timing story and the soundness story.
+            _OBS.tracer.event(
+                "ledger.degradation",
+                stage=stage,
+                budget=budget,
+                fallback=fallback,
+            )
+            _OBS.metrics.counter("ledger.degradations").inc()
         return event
 
     @property

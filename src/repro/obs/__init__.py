@@ -1,0 +1,71 @@
+"""Zero-dependency observability: tracing, metrics and profiling hooks.
+
+Three pieces (see ``docs/observability.md``):
+
+* :class:`~repro.obs.trace.Tracer` — nested spans with attributes and
+  point events, exported as JSONL; the default is a no-op
+  :class:`~repro.obs.trace.NullTracer` so instrumented hot paths pay one
+  branch when tracing is off.
+* :class:`~repro.obs.metrics.Metrics` — counters, gauges and
+  fixed-boundary histograms, exported as JSON and mergeable across
+  worker processes.
+* :func:`~repro.obs.profile.profiled` and the :data:`STATE` singleton —
+  how the analysis pipeline hooks in; :func:`install` / :func:`observed`
+  turn collection on.
+
+The CLI surfaces all of it via ``--trace-out`` / ``--metrics-out`` and
+``repro obs summarize``.  ``repro.obs.summary`` (trace aggregation) is
+imported lazily to keep this package import-light.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    METRICS_SCHEMA_VERSION,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    NullMetrics,
+)
+from repro.obs.profile import (
+    STATE,
+    ObsState,
+    install,
+    observed,
+    profiled,
+    uninstall,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    SPAN_RECORD_KEYS,
+    TRACE_SCHEMA_VERSION,
+    ActiveSpan,
+    NullTracer,
+    Tracer,
+    read_trace,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "METRICS_SCHEMA_VERSION",
+    "NULL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "NullMetrics",
+    "STATE",
+    "ObsState",
+    "install",
+    "observed",
+    "profiled",
+    "uninstall",
+    "NULL_TRACER",
+    "SPAN_RECORD_KEYS",
+    "TRACE_SCHEMA_VERSION",
+    "ActiveSpan",
+    "NullTracer",
+    "Tracer",
+    "read_trace",
+]

@@ -1,0 +1,97 @@
+"""Process-wide observability state and the ``@profiled`` decorator.
+
+Instrumented call sites never hold a tracer directly; they read the
+shared :data:`STATE` singleton, whose fields :func:`install` /
+:func:`uninstall` swap between the real and the null implementations.
+The object identity of ``STATE`` never changes, so modules may bind it
+once at import time::
+
+    from repro.obs import STATE as _OBS
+    ...
+    if _OBS.enabled:
+        _OBS.metrics.counter("kernels.conflict_bound.kernel").inc()
+
+When observability is off (the default) that guard is one attribute load
+and a branch — the whole cost of leaving instrumentation in a hot path.
+
+``@profiled`` wraps a function in a span named after it; with the null
+tracer installed the wrapper is a single enabled check before the call.
+"""
+
+from __future__ import annotations
+
+import functools
+from contextlib import contextmanager
+from typing import Optional
+
+from repro.obs.metrics import NULL_METRICS, Metrics, NullMetrics
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+
+class ObsState:
+    """The mutable holder instrumented modules read on every operation."""
+
+    __slots__ = ("enabled", "tracer", "metrics")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.tracer: "Tracer | NullTracer" = NULL_TRACER
+        self.metrics: "Metrics | NullMetrics" = NULL_METRICS
+
+
+STATE = ObsState()
+
+
+def install(
+    tracer: "Tracer | None" = None, metrics: "Metrics | None" = None
+) -> tuple:
+    """Enable observability; missing pieces are created fresh.
+
+    Returns ``(tracer, metrics)`` so callers can export them later.
+    """
+    STATE.tracer = tracer if tracer is not None else Tracer()
+    STATE.metrics = metrics if metrics is not None else Metrics()
+    STATE.enabled = True
+    return STATE.tracer, STATE.metrics
+
+
+def uninstall() -> None:
+    """Back to the free no-op defaults."""
+    STATE.enabled = False
+    STATE.tracer = NULL_TRACER
+    STATE.metrics = NULL_METRICS
+
+
+@contextmanager
+def observed(tracer: "Tracer | None" = None, metrics: "Metrics | None" = None):
+    """Context-managed :func:`install` / :func:`uninstall` (tests, CLI)."""
+    pair = install(tracer, metrics)
+    try:
+        yield pair
+    finally:
+        uninstall()
+
+
+def profiled(name: Optional[str] = None, counter: Optional[str] = None):
+    """Decorator: run the function inside a span (no-op while disabled).
+
+    ``name`` defaults to the function's qualified name; ``counter``
+    optionally names a call counter incremented alongside the span.
+    """
+
+    def decorate(fn):
+        span_name = name if name is not None else fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not STATE.enabled:
+                return fn(*args, **kwargs)
+            if counter is not None:
+                STATE.metrics.counter(counter).inc()
+            with STATE.tracer.span(span_name):
+                return fn(*args, **kwargs)
+
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    return decorate

@@ -1,0 +1,102 @@
+"""Per-phase summaries of a JSONL trace (``repro obs summarize``).
+
+Aggregates span records by name into count / total / mean / max wall
+time plus each phase's share of the traced root time.  *Self* time
+subtracts the durations of direct children, so nested phases (e.g.
+``analyze.wcet`` inside ``analyze.task``) are not double-counted when
+reading the table top-down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.obs.trace import read_trace
+
+
+@dataclass
+class PhaseSummary:
+    """Aggregated wall time of every span sharing one name."""
+
+    name: str
+    count: int
+    total_us: int
+    self_us: int
+    max_us: int
+
+    @property
+    def mean_us(self) -> float:
+        return self.total_us / self.count if self.count else 0.0
+
+
+def summarize_spans(records: Iterable[dict]) -> list[PhaseSummary]:
+    """Group span records by name, most total wall time first."""
+    spans = [r for r in records if r.get("type") == "span"]
+    children_us: dict = {}
+    for record in spans:
+        parent = record.get("parent")
+        if parent is not None:
+            children_us[parent] = children_us.get(parent, 0) + record["dur_us"]
+    by_name: dict[str, PhaseSummary] = {}
+    for record in spans:
+        summary = by_name.get(record["name"])
+        self_us = max(0, record["dur_us"] - children_us.get(record["id"], 0))
+        if summary is None:
+            by_name[record["name"]] = PhaseSummary(
+                name=record["name"],
+                count=1,
+                total_us=record["dur_us"],
+                self_us=self_us,
+                max_us=record["dur_us"],
+            )
+        else:
+            summary.count += 1
+            summary.total_us += record["dur_us"]
+            summary.self_us += self_us
+            summary.max_us = max(summary.max_us, record["dur_us"])
+    return sorted(by_name.values(), key=lambda s: (-s.total_us, s.name))
+
+
+def trace_root_us(records: Iterable[dict]) -> int:
+    """Total duration of the root spans (spans with no parent)."""
+    return sum(
+        r["dur_us"]
+        for r in records
+        if r.get("type") == "span" and r.get("parent") is None
+    )
+
+
+def summarize_trace(path):
+    """Render a trace file as a per-phase wall-time breakdown table."""
+    # Imported lazily: reporting lives under repro.experiments, which
+    # transitively imports the analysis modules that themselves import
+    # repro.obs — a module-level import here would be circular.
+    from repro.experiments.reporting import Table
+
+    records = read_trace(path)
+    summaries = summarize_spans(records)
+    root_us = trace_root_us(records)
+    events = sum(len(r.get("events", ())) for r in records)
+    table = Table(
+        title=f"Trace summary: {path}",
+        headers=["phase", "count", "total ms", "self ms", "mean ms", "max ms", "share %"],
+        notes=[
+            f"{len([r for r in records if r.get('type') == 'span'])} span(s), "
+            f"{events} span event(s); share is of the {root_us / 1000:.1f} ms "
+            "root wall time",
+            "self ms excludes time spent in child spans",
+        ],
+    )
+    for summary in summaries:
+        share = 100.0 * summary.total_us / root_us if root_us else 0.0
+        table.add_row(
+            summary.name,
+            summary.count,
+            summary.total_us / 1000.0,
+            summary.self_us / 1000.0,
+            summary.mean_us / 1000.0,
+            summary.max_us / 1000.0,
+            share,
+        )
+    return table

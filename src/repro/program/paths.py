@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Union
 
 from repro.errors import PathExplosionError
+from repro.obs import profiled
 from repro.program.builder import (
     IfElseNode,
     LeafNode,
@@ -168,6 +169,7 @@ def _enumerate(node: StructureNode, limit: int) -> list[PathProfile]:
     raise TypeError(f"unknown structure node {node!r}")
 
 
+@profiled("analyze.paths")
 def enumerate_path_profiles(program: Program, limit: int = 4096) -> list[PathProfile]:
     """All feasible path profiles of *program* (loops collapsed).
 

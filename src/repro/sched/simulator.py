@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING
 
 from repro.cache.state import CacheState
 from repro.errors import ConfigError, SimulationError
+from repro.obs import STATE as _OBS
 from repro.program.layout import ProgramLayout
 from repro.sched.events import EventKind, JobRecord, SchedulerEvent
 from repro.vm.machine import Machine
@@ -339,8 +340,23 @@ class Simulator:
                     if max_events is None
                     else min(max_events, budget.max_sim_events)
                 )
+        with _OBS.tracer.span(
+            "sim.run", horizon=horizon, queue_impl=self.queue_impl
+        ) as span:
+            result = self._run(horizon, max_steps, max_events, span)
+        return result
+
+    def _run(
+        self,
+        horizon: int,
+        max_steps: int,
+        max_events: "int | None",
+        span,
+    ) -> SimulationResult:
         time = 0
         steps = 0
+        queue_ops = 0
+        preempt_count = 0
         events: list[SchedulerEvent] = []
         records: list[JobRecord] = []
         if self.queue_impl == "heap":
@@ -357,15 +373,18 @@ class Simulator:
         running: _Job | None = None
 
         def release_due() -> None:
+            nonlocal queue_ops
             for release_time, name, binding in releases.pop_due(time):
                 job = self._make_job(binding, job_counter[name], release_time)
                 job_counter[name] += 1
                 waiting.push(job)
+                queue_ops += 1
                 events.append(
                     SchedulerEvent(release_time, EventKind.RELEASE, name, job.index)
                 )
             for job in waiting.pop_due(time):
                 ready.push(job)
+                queue_ops += 1
 
         def earliest_release() -> int | None:
             candidates = [
@@ -392,17 +411,20 @@ class Simulator:
                     job = running  # keep running; nothing preempts it
                 else:
                     running.preemptions += 1
+                    preempt_count += 1
                     events.append(
                         SchedulerEvent(
                             time, EventKind.PREEMPT, running.task, running.index
                         )
                     )
                     ready.push(running)
+                    queue_ops += 1
                     running = None
 
             if running is None:
                 assert job is not None
                 ready.remove(job)  # always the minimum: O(log n) on the heap
+                queue_ops += 1
                 if self.ccs and dispatched_before:
                     events.append(
                         SchedulerEvent(
@@ -468,6 +490,19 @@ class Simulator:
         # stable sort restores global time order without disturbing the
         # logical order of same-instant events.
         events.sort(key=lambda event: event.time)
+        if _OBS.enabled:
+            span.set(
+                end_time=time,
+                steps=steps,
+                events=len(events),
+                preemptions=preempt_count,
+            )
+            metrics = _OBS.metrics
+            metrics.counter("sim.runs").inc()
+            metrics.counter("sim.steps").inc(steps)
+            metrics.counter("sim.events").inc(len(events))
+            metrics.counter("sim.preemptions").inc(preempt_count)
+            metrics.counter("sim.queue_ops").inc(queue_ops)
         return SimulationResult(
             jobs=records,
             events=events,

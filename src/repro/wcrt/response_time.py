@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.errors import DivergenceError
 from repro.guard.ledger import DegradationLedger
+from repro.obs import STATE as _OBS
 from repro.wcrt.task import TaskSpec, TaskSystem
 
 if TYPE_CHECKING:
@@ -167,46 +168,55 @@ def compute_task_wcrt(
         return total
 
     # Iterate on the busy window w; the response time is w + own jitter.
-    window = task.wcet
-    history = [window + task.jitter]
-    converged = False
-    deadline_stopped = False
-    for _ in range(max_iterations):
-        updated = task.wcet + interference(window)
-        if updated == window:
-            converged = True
-            break
-        window = updated
-        history.append(window + task.jitter)
-        if stop_at_deadline and window + task.jitter > deadline:
-            deadline_stopped = True
-            break
-    diverged = not converged and not deadline_stopped
-    if diverged:
-        message = (
-            f"WCRT recurrence for {task.name!r} did not converge within "
-            f"{max_iterations} iteration(s); last response "
-            f"{window + task.jitter} (utilization {system.utilization:.3f})"
-        )
-        if budget is not None and budget.strict:
-            raise DivergenceError(message, task=task.name)
-        if ledger is not None:
-            ledger.record(
-                stage=f"wcrt:{task.name}",
-                budget="max_wcrt_iterations",
-                reason=f"DivergenceError: {message}",
-                fallback="reported unschedulable (converged=False, diverged=True)",
+    with _OBS.tracer.span("wcrt.task", task=task.name) as span:
+        window = task.wcet
+        history = [window + task.jitter]
+        converged = False
+        deadline_stopped = False
+        for _ in range(max_iterations):
+            updated = task.wcet + interference(window)
+            if updated == window:
+                converged = True
+                break
+            window = updated
+            history.append(window + task.jitter)
+            if stop_at_deadline and window + task.jitter > deadline:
+                deadline_stopped = True
+                break
+        diverged = not converged and not deadline_stopped
+        if diverged:
+            message = (
+                f"WCRT recurrence for {task.name!r} did not converge within "
+                f"{max_iterations} iteration(s); last response "
+                f"{window + task.jitter} (utilization {system.utilization:.3f})"
             )
-    response = window + task.jitter
-    return WCRTResult(
-        task=task,
-        wcrt=response,
-        converged=converged,
-        schedulable=converged and response <= deadline,
-        iterations=history,
-        deadline_stopped=deadline_stopped,
-        diverged=diverged,
-    )
+            if budget is not None and budget.strict:
+                raise DivergenceError(message, task=task.name)
+            if ledger is not None:
+                ledger.record(
+                    stage=f"wcrt:{task.name}",
+                    budget="max_wcrt_iterations",
+                    reason=f"DivergenceError: {message}",
+                    fallback="reported unschedulable (converged=False, diverged=True)",
+                )
+        response = window + task.jitter
+        result = WCRTResult(
+            task=task,
+            wcrt=response,
+            converged=converged,
+            schedulable=converged and response <= deadline,
+            iterations=history,
+            deadline_stopped=deadline_stopped,
+            diverged=diverged,
+        )
+        if _OBS.enabled:
+            span.set(iterations=result.iteration_count, status=result.status)
+            metrics = _OBS.metrics
+            metrics.histogram("wcrt.iterations").observe(result.iteration_count)
+            for earlier, later in zip(history, history[1:]):
+                # Per-round response growth: how fast the fixpoint closed.
+                metrics.histogram("wcrt.delta").observe(later - earlier)
+    return result
 
 
 def compute_system_wcrt(

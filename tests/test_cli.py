@@ -103,3 +103,80 @@ class TestGuardedCLI:
         captured = capsys.readouterr()
         assert "soundness: conservative" in captured.out
         assert "crpd:" in captured.err
+
+
+class TestObservabilityCLI:
+    """--trace-out / --metrics-out / obs summarize round-trips."""
+
+    def test_traced_crpd_round_trip(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import SPAN_RECORD_KEYS, read_trace
+
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert main(
+            ["--no-cache", "--trace-out", str(trace),
+             "--metrics-out", str(metrics), "crpd", "--experiment", "1"]
+        ) == 0
+        capsys.readouterr()
+        records = read_trace(trace)
+        names = {r["name"] for r in records}
+        assert {"cli.crpd", "experiments.build_context", "crpd.pair"} <= names
+        for record in records:
+            assert set(record) == SPAN_RECORD_KEYS
+        data = json.loads(metrics.read_text())
+        assert data["counters"]["crpd.pairs_computed"] == 12
+
+        assert main(["obs", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "cli.crpd" in out
+        assert "share %" in out
+
+    def test_trace_out_leaves_obs_disabled_afterwards(self, tmp_path, capsys):
+        from repro.obs import STATE
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(["--trace-out", str(trace), "workloads"]) == 0
+        capsys.readouterr()
+        assert STATE.enabled is False
+        assert trace.exists()
+
+    def test_strict_failure_preserves_exit_code_and_writes_trace(
+        self, tmp_path, capsys
+    ):
+        from repro.obs import read_trace
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["--strict", "--max-paths", "1", "--trace-out", str(trace),
+             "analyze", "ed"]
+        ) == 3
+        err = capsys.readouterr().err
+        assert err.startswith("repro: budget error:")
+        # The trace is still exported and names the failure.
+        root = next(
+            r for r in read_trace(trace) if r["name"] == "cli.analyze"
+        )
+        assert root["attrs"]["error"] == "PathExplosionError"
+
+    def test_degradations_ride_the_trace_as_span_events(self, tmp_path, capsys):
+        from repro.obs import read_trace
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["--no-cache", "--max-paths", "1", "--trace-out", str(trace),
+             "analyze", "ed"]
+        ) == 0
+        capsys.readouterr()
+        events = [
+            event
+            for record in read_trace(trace)
+            for event in record.get("events", ())
+            if event["name"] == "ledger.degradation"
+        ]
+        assert any(e["attrs"]["budget"] == "max_paths" for e in events)
+
+    def test_summarize_rejects_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["obs", "summarize", str(tmp_path / "absent.jsonl")])
