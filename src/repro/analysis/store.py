@@ -30,7 +30,9 @@ The store is two-level: a per-process LRU of deserialised bundles and an
 on-disk pickle directory (default ``~/.cache/repro``, override with
 ``REPRO_CACHE_DIR``, disable with ``REPRO_NO_CACHE=1`` or ``--no-cache``).
 Disk writes are atomic (temp file + ``os.replace``) and unreadable or
-corrupt entries are treated as misses, never as errors.
+corrupt entries are treated as misses, never as errors: the offending
+file is deleted so the next ``put`` rewrites the slot, and the event is
+counted (``ArtifactStore.corrupt`` / ``store.corrupt`` metric).
 """
 
 from __future__ import annotations
@@ -152,6 +154,7 @@ class ArtifactStore:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    corrupt: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
     _memory: "OrderedDict[str, CachedAnalysis]" = field(
@@ -193,6 +196,17 @@ class ArtifactStore:
                 if _OBS.enabled:
                     _OBS.metrics.counter("store.bytes_read").inc(len(payload))
                 return self._hit(entry, tier="disk")
+            # The file exists but did not yield a CachedAnalysis (truncated
+            # write, bit rot, foreign pickle).  Delete it so the slot is
+            # rewritten on the next put instead of failing every lookup.
+            self.corrupt += 1
+            if _OBS.enabled:
+                _OBS.metrics.counter("store.corrupt").inc()
+                _OBS.tracer.event("store.corrupt", key=key)
+            try:
+                path.unlink()
+            except OSError:
+                pass  # unreadable *and* undeletable: still just a miss
         self.misses += 1
         if _OBS.enabled:
             _OBS.metrics.counter("store.misses").inc()

@@ -93,6 +93,11 @@ def static_wcet_bound(layout: ProgramLayout, config: CacheConfig) -> int:
     used as a soundness cross-check against :func:`measure_wcet`.
     """
     program = layout.program
+    # Every miss may additionally evict a dirty line under write-back, so
+    # the all-miss cost per access is penalty + writeback (0 when
+    # write-through).  Without this term the bound undercounts any
+    # storing program on a write-back cache.
+    per_miss = config.miss_penalty + config.effective_writeback_penalty
     block_cost: dict[str, int] = {}
     for label in program.cfg.labels():
         block = program.cfg.block(label)
@@ -100,14 +105,14 @@ def static_wcet_bound(layout: ProgramLayout, config: CacheConfig) -> int:
         if block.terminator is not None:
             cost += block.terminator.base_cycles
         # Every fetch misses...
-        cost += block.size_instructions * config.miss_penalty
+        cost += block.size_instructions * per_miss
         # ...and every load/store misses too.
         memory_ops = sum(
             1
             for instr in block.instructions
             if instr.cost_key in ("load", "store")
         )
-        cost += memory_ops * config.miss_penalty
+        cost += memory_ops * per_miss
         block_cost[label] = cost
 
     worst = 0

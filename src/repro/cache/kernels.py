@@ -36,12 +36,26 @@ SetCounts = Dict[int, int]
 _BLOCKSET_INTERN: dict[frozenset[int], frozenset[int]] = {}
 
 
+def reset_intern_table() -> None:
+    """Drop every interned block set.
+
+    Single analyses create a bounded universe of group sets, but a fuzz
+    campaign analysing thousands of unrelated programs in one process
+    would grow the table without bound; the campaign runner calls this
+    between cases.  Existing CIIPs keep their (now un-interned) sets, so
+    clearing is always safe — only future interning stops deduplicating
+    against the dropped generation.
+    """
+    _BLOCKSET_INTERN.clear()
+
+
 def intern_blocks(blocks: frozenset[int]) -> frozenset[int]:
     """Return the canonical instance of *blocks* (one object per value).
 
-    The intern table is process-global and append-only; analyses create a
-    bounded universe of distinct group sets per run, so no eviction is
-    needed.  Workers of a process pool build their own tables.
+    The intern table is process-global and append-only (between
+    :func:`reset_intern_table` calls); analyses create a bounded universe
+    of distinct group sets per run, so no eviction is needed.  Workers of
+    a process pool build their own tables.
     """
     cached = _BLOCKSET_INTERN.get(blocks)
     if cached is None:

@@ -1,0 +1,621 @@
+"""The oracle bank: every check the campaign runs on each built case.
+
+Three families, mirroring the tentpole spec:
+
+* **soundness** — measured behaviour never exceeds an analytical bound:
+  post-preemption reloads vs every approach's line count, simulated ART
+  vs every approach's WCRT, measured WCET vs the static all-miss bound.
+* **paper invariants** — App4 <= min(App2, App3) <= App1 (Sections V-VI),
+  Definition-4 vs per-point MUMBS dominance, monotonicity in Cmiss.
+* **engine differentials** — kernel vs naive conflict math, pruned vs
+  enumerated Equation-4 search, heap vs scan scheduler identity,
+  warm-vs-cold artifact + ledger parity through the :class:`ArtifactStore`.
+
+Soundness oracles that depend on assumptions the paper itself makes are
+gated accordingly, so a violation is always an engine bug and never a
+known modelling caveat:
+
+* ART and cold-dominates-warm require **LRU** (FIFO/PLRU admit timing
+  anomalies where a warmer cache runs slower — Berg's FIFO anomaly);
+* ART additionally requires **write-through** (under write-back a
+  preemptor pays the victim's dirty writebacks, which Equation 7 assigns
+  to neither side's WCET).
+
+Reload-count soundness, the static WCET bound, path-footprint coverage
+and all differential oracles hold for every geometry and policy the
+generator draws, degenerate corners included.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.analysis import ALL_APPROACHES, Approach
+from repro.analysis.artifacts import analyze_task
+from repro.analysis.pathcost import approach4_lines
+from repro.analysis.store import ArtifactStore
+from repro.analysis.wcet import static_wcet_bound
+from repro.cache.ciip import (
+    conflict_bound,
+    conflict_bound_naive,
+    conflict_bound_per_set,
+    line_usage_bound,
+)
+from repro.cache.state import CacheState
+from repro.errors import ConfigError, ReproError
+from repro.fuzz.build import BuiltCase, BuiltTask, build_case
+from repro.fuzz.spec import SystemSpec
+from repro.guard.budget import AnalysisBudget
+from repro.guard.ledger import DegradationLedger
+from repro.obs import STATE as _OBS
+from repro.program.paths import path_footprint
+from repro.sched.simulator import Simulator
+from repro.vm.machine import Machine
+from repro.wcrt.response_time import (
+    compute_task_wcrt,
+    dispatch_blocking_bound,
+)
+from repro.wcrt.task import TaskSpec, TaskSystem
+
+__all__ = [
+    "ORACLES",
+    "Violation",
+    "build_case",
+    "run_oracles",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One oracle failure on one case."""
+
+    oracle: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.oracle}] {self.message}"
+
+
+class _Check:
+    """Collects violations for one oracle without stopping at the first."""
+
+    def __init__(self, oracle: str):
+        self.oracle = oracle
+        self.violations: list[Violation] = []
+
+    def expect(self, condition: bool, message: Callable[[], str] | str) -> None:
+        if not condition:
+            text = message() if callable(message) else message
+            self.violations.append(Violation(self.oracle, text))
+
+
+# ----------------------------------------------------------------------
+# Measurement helpers
+# ----------------------------------------------------------------------
+def _loaded_machine(task: BuiltTask, cache: CacheState) -> Machine:
+    machine = Machine(layout=task.layout, cache=cache)
+    worst = task.artifacts.wcet.worst_scenario
+    for array, values in task.scenarios[worst].items():
+        machine.write_array(array, values)
+    return machine
+
+
+def measure_preemption_reloads(
+    case: BuiltCase, victim: BuiltTask, intruder: BuiltTask, preempt_step: int
+) -> int | None:
+    """Preempt *victim* after *preempt_step* instructions with a full run
+    of *intruder*; count evicted-then-reloaded victim lines.  ``None``
+    when the victim halts before the preemption point."""
+    cache = CacheState(case.config)
+    machine = _loaded_machine(victim, cache)
+    steps = 0
+    while not machine.halted and steps < preempt_step:
+        machine.step()
+        steps += 1
+    if machine.halted:
+        return None
+    resident_before = cache.resident_blocks() & victim.artifacts.footprint
+    _loaded_machine(intruder, cache).run()
+    evicted = resident_before - cache.resident_blocks()
+    reloaded: set[int] = set()
+    while not machine.halted:
+        before = cache.resident_blocks()
+        machine.step()
+        reloaded |= (cache.resident_blocks() - before) & evicted
+    return len(reloaded)
+
+
+def _simulate(case: BuiltCase, queue_impl: str, budget: AnalysisBudget | None):
+    simulator = Simulator(
+        case.bindings(),
+        cache=CacheState(case.config),
+        context_switch_cycles=case.spec.context_switch,
+        queue_impl=queue_impl,
+    )
+    return simulator.run(case.horizon(), budget=budget)
+
+
+# ----------------------------------------------------------------------
+# Soundness oracles
+# ----------------------------------------------------------------------
+def oracle_reload_soundness(
+    case: BuiltCase, budget: AnalysisBudget | None = None
+) -> list[Violation]:
+    """Measured post-preemption reloads <= every approach's line bound."""
+    check = _Check("reload_soundness")
+    for victim, intruder in case.pairs():
+        bounds = {
+            approach: case.analyzer.lines_reloaded(
+                victim.name, intruder.name, approach
+            )
+            for approach in ALL_APPROACHES
+        }
+        for step in case.spec.preempt_steps:
+            measured = measure_preemption_reloads(case, victim, intruder, step)
+            if measured is None:
+                continue
+            for approach, bound in bounds.items():
+                check.expect(
+                    measured <= bound,
+                    f"{victim.name} preempted by {intruder.name} at step {step}: "
+                    f"measured {measured} reloads > App{approach.value} bound {bound}",
+                )
+    return check.violations
+
+
+def oracle_wcet_soundness(
+    case: BuiltCase, budget: AnalysisBudget | None = None
+) -> list[Violation]:
+    """Static all-miss bound >= measured WCET; LRU cold >= warm; path
+    footprints cover the observed footprint; Lee bound dominates points."""
+    check = _Check("wcet_soundness")
+    for task in case.tasks:
+        art = task.artifacts
+        static = static_wcet_bound(task.layout, case.config)
+        check.expect(
+            static >= art.wcet.cycles,
+            f"{task.name}: static bound {static} < measured WCET {art.wcet.cycles}",
+        )
+        per_node = art.per_node_blocks()
+        union: set[int] = set()
+        for profile in art.path_profiles:
+            fp = path_footprint(profile, per_node)
+            check.expect(
+                fp <= art.footprint,
+                f"{task.name}: path footprint escapes the task footprint",
+            )
+            union |= fp
+        if art.path_enumeration_complete:
+            check.expect(
+                union == set(art.footprint),
+                f"{task.name}: path footprints miss "
+                f"{len(set(art.footprint) - union)} observed block(s)",
+            )
+        lee = art.useful.lee_reload_bound()
+        for point in art.useful.points:
+            if point.reload_bound() > lee:
+                check.expect(
+                    False,
+                    f"{task.name}: execution point exceeds Lee bound "
+                    f"({point.reload_bound()} > {lee})",
+                )
+                break
+    # Cold-dominates-warm needs LRU (no replacement anomalies) AND a
+    # clean cache: under write-back a warm victim pays writebacks for the
+    # intruder's dirty lines, which its cold WCET never sees.
+    if case.config.policy == "lru" and not case.config.write_back:
+        for victim, intruder in case.pairs():
+            cache = CacheState(case.config)
+            _loaded_machine(intruder, cache).run()
+            warm = _loaded_machine(victim, cache)
+            warm.run()
+            check.expect(
+                warm.cycles <= victim.artifacts.wcet.cycles,
+                f"{victim.name}: warm run ({warm.cycles} cycles) exceeds "
+                f"cold WCET {victim.artifacts.wcet.cycles}",
+            )
+    return check.violations
+
+
+def _inflated_system(case: BuiltCase, name: str, blocking: int) -> TaskSystem:
+    """The case's task system with *name*'s WCET inflated by the dispatch
+    blocking bound, so the recurrence covers the simulator's
+    instruction-boundary preemption and dispatch context switch."""
+    tasks = []
+    for task in case.system.tasks:
+        if task.name == name:
+            task = TaskSpec(
+                name=task.name,
+                wcet=task.wcet + blocking,
+                period=task.period,
+                priority=task.priority,
+                deadline=task.period + blocking,
+                jitter=task.jitter,
+            )
+        tasks.append(task)
+    return TaskSystem(tasks=tasks)
+
+
+def oracle_art_soundness(
+    case: BuiltCase, budget: AnalysisBudget | None = None
+) -> list[Violation]:
+    """Simulated ART <= every approach's WCRT (LRU + write-through only;
+    see the module docstring for why).
+
+    The bound asserted is Equation 7 over the busy window of a task whose
+    WCET is inflated by :func:`dispatch_blocking_bound` — the simulator
+    preempts only at instruction boundaries and charges ``Ccs`` on every
+    dispatch that changes the running job, costs Equation 7 assigns to no
+    one.  The claim is only valid while the single-busy-period argument
+    holds, so tasks whose recurrence diverges or exceeds their period are
+    skipped (and counted in the ``fuzz.oracle_skips`` metric).
+    """
+    if case.config.policy != "lru" or case.config.write_back:
+        return []
+    check = _Check("art_soundness")
+    try:
+        result = _simulate(case, "heap", budget)
+    except ReproError:
+        return check.violations  # budget-capped runs are not evidence
+    observed: dict[str, int] = {}
+    for record in result.jobs:
+        previous = observed.get(record.task, -1)
+        observed[record.task] = max(previous, record.response_time)
+    blocking = dispatch_blocking_bound(case.config, case.spec.context_switch)
+    for task in case.tasks:
+        art_measured = observed.get(task.name)
+        if art_measured is None:
+            continue
+        try:
+            system = _inflated_system(case, task.name, blocking)
+        except ConfigError:
+            _skip("art_soundness")
+            continue
+        for approach in ALL_APPROACHES:
+            wcrt = compute_task_wcrt(
+                system,
+                task.name,
+                cpre=lambda victim, intr, a=approach: case.analyzer.cpre(
+                    victim, intr, a
+                ),
+                context_switch=case.spec.context_switch,
+                stop_at_deadline=False,
+            )
+            if not wcrt.converged or wcrt.wcrt > task.spec.period:
+                _skip("art_soundness")
+                continue
+            check.expect(
+                art_measured <= wcrt.wcrt,
+                f"{task.name}: simulated ART {art_measured} > App{approach.value} "
+                f"WCRT {wcrt.wcrt}",
+            )
+    return check.violations
+
+
+def _skip(oracle: str) -> None:
+    if _OBS.enabled:
+        _OBS.metrics.counter(f"fuzz.oracle_skips.{oracle}").inc()
+
+
+# ----------------------------------------------------------------------
+# Paper invariants
+# ----------------------------------------------------------------------
+def oracle_approach_ordering(
+    case: BuiltCase, budget: AnalysisBudget | None = None
+) -> list[Violation]:
+    """App4 <= min(App2, App3) <= App1, all non-negative, and the
+    Definition-4 ("paper") Approach 4 never exceeds the per-point value."""
+    check = _Check("approach_ordering")
+    for victim, intruder in case.pairs():
+        lines = {
+            approach: case.analyzer.lines_reloaded(
+                victim.name, intruder.name, approach
+            )
+            for approach in ALL_APPROACHES
+        }
+        label = f"{victim.name}<-{intruder.name}"
+        for approach, value in lines.items():
+            check.expect(
+                value >= 0, f"{label}: App{approach.value} negative ({value})"
+            )
+        check.expect(
+            lines[Approach.COMBINED] <= lines[Approach.INTERTASK],
+            f"{label}: App4 {lines[Approach.COMBINED]} > App2 "
+            f"{lines[Approach.INTERTASK]}",
+        )
+        check.expect(
+            lines[Approach.COMBINED] <= lines[Approach.LEE],
+            f"{label}: App4 {lines[Approach.COMBINED]} > App3 {lines[Approach.LEE]}",
+        )
+        check.expect(
+            lines[Approach.INTERTASK] <= lines[Approach.BUSQUETS],
+            f"{label}: App2 {lines[Approach.INTERTASK]} > App1 "
+            f"{lines[Approach.BUSQUETS]}",
+        )
+        paper = approach4_lines(
+            victim.artifacts, intruder.artifacts, mumbs_mode="paper"
+        )
+        per_point = approach4_lines(
+            victim.artifacts, intruder.artifacts, mumbs_mode="per_point"
+        )
+        check.expect(
+            paper <= per_point,
+            f"{label}: Definition-4 App4 {paper} > per-point {per_point}",
+        )
+    return check.violations
+
+
+def oracle_cmiss_monotonicity(
+    case: BuiltCase, budget: AnalysisBudget | None = None
+) -> list[Violation]:
+    """Doubling the miss penalty must not shrink anything: WCET grows,
+    reload-line counts are penalty-independent, WCRT grows per approach.
+
+    The doubled variant keeps the base case's periods and jitters (they
+    derive from the base WCET), so the recurrences are comparable.
+    """
+    check = _Check("cmiss_monotonicity")
+    doubled_config = case.config.__class__(
+        num_sets=case.config.num_sets,
+        ways=case.config.ways,
+        line_size=case.config.line_size,
+        miss_penalty=case.config.miss_penalty * 2,
+        policy=case.config.policy,
+        write_back=case.config.write_back,
+    )
+    doubled = build_case(case.spec, budget=budget, config=doubled_config)
+    for base_task, doubled_task in zip(case.tasks, doubled.tasks):
+        check.expect(
+            doubled_task.artifacts.wcet.cycles >= base_task.artifacts.wcet.cycles,
+            f"{base_task.name}: WCET shrank when Cmiss doubled "
+            f"({base_task.artifacts.wcet.cycles} -> "
+            f"{doubled_task.artifacts.wcet.cycles})",
+        )
+    for victim, intruder in case.pairs():
+        for approach in ALL_APPROACHES:
+            base_lines = case.analyzer.lines_reloaded(
+                victim.name, intruder.name, approach
+            )
+            doubled_lines = doubled.analyzer.lines_reloaded(
+                victim.name, intruder.name, approach
+            )
+            check.expect(
+                base_lines == doubled_lines,
+                f"{victim.name}<-{intruder.name}: App{approach.value} line count "
+                f"depends on Cmiss ({base_lines} vs {doubled_lines})",
+            )
+    # WCRT at doubled penalty and WCETs, over the base case's periods.
+    comparable_tasks = [
+        TaskSpec(
+            name=base.spec.name,
+            wcet=doubled_task.artifacts.wcet.cycles,
+            period=base.spec.period,
+            priority=base.spec.priority,
+            jitter=base.spec.jitter,
+        )
+        for base, doubled_task in zip(case.tasks, doubled.tasks)
+    ]
+    try:
+        doubled_system = TaskSystem(tasks=comparable_tasks)
+    except ConfigError:
+        _skip("cmiss_monotonicity")
+        return check.violations
+    ccs = case.spec.context_switch
+    for task in case.tasks:
+        for approach in ALL_APPROACHES:
+            base_wcrt = compute_task_wcrt(
+                case.system,
+                task.name,
+                cpre=lambda v, i, a=approach: case.analyzer.cpre(v, i, a),
+                context_switch=ccs,
+                stop_at_deadline=False,
+            )
+            doubled_wcrt = compute_task_wcrt(
+                doubled_system,
+                task.name,
+                cpre=lambda v, i, a=approach: doubled.analyzer.cpre(v, i, a),
+                context_switch=ccs,
+                stop_at_deadline=False,
+            )
+            if not (base_wcrt.converged and doubled_wcrt.converged):
+                _skip("cmiss_monotonicity")
+                continue
+            check.expect(
+                doubled_wcrt.wcrt >= base_wcrt.wcrt,
+                f"{task.name}: App{approach.value} WCRT shrank when Cmiss "
+                f"doubled ({base_wcrt.wcrt} -> {doubled_wcrt.wcrt})",
+            )
+    return check.violations
+
+
+# ----------------------------------------------------------------------
+# Engine differentials
+# ----------------------------------------------------------------------
+def _naive_usage(ciip) -> int:
+    ways = ciip.config.ways
+    return sum(min(len(ciip.group(r)), ways) for r in ciip.indices())
+
+
+def oracle_kernel_vs_naive(
+    case: BuiltCase, budget: AnalysisBudget | None = None
+) -> list[Violation]:
+    """Counter kernels agree with the set-algebra reference on every CIIP
+    the case produces (footprints, MUMBS, per-path restrictions)."""
+    check = _Check("kernel_vs_naive")
+    ciips = []
+    for task in case.tasks:
+        ciips.append((f"{task.name}.footprint", task.artifacts.footprint_ciip))
+        ciips.append((f"{task.name}.mumbs", task.artifacts.mumbs_ciip()))
+        for index, path_ciip in enumerate(task.artifacts.path_ciips()):
+            ciips.append((f"{task.name}.path{index}", path_ciip))
+    for name, ciip in ciips:
+        kernel_usage = line_usage_bound(ciip)
+        check.expect(
+            kernel_usage == _naive_usage(ciip),
+            f"{name}: usage kernel {kernel_usage} != naive {_naive_usage(ciip)}",
+        )
+    for name_a, a in ciips:
+        for name_b, b in ciips:
+            kernel = conflict_bound(a, b)
+            naive = conflict_bound_naive(a, b)
+            check.expect(
+                kernel == naive,
+                f"S({name_a}, {name_b}): kernel {kernel} != naive {naive}",
+            )
+            per_set = sum(conflict_bound_per_set(a, b).values())
+            check.expect(
+                per_set == kernel,
+                f"S({name_a}, {name_b}): per-set sum {per_set} != kernel {kernel}",
+            )
+    return check.violations
+
+
+def oracle_prune_vs_enumerate(
+    case: BuiltCase, budget: AnalysisBudget | None = None
+) -> list[Violation]:
+    """The branch-and-bound Equation-4 search equals full enumeration."""
+    check = _Check("prune_vs_enumerate")
+    for victim, intruder in case.pairs():
+        for mode in ("paper", "per_point"):
+            enumerated = approach4_lines(
+                victim.artifacts, intruder.artifacts, mumbs_mode=mode,
+                engine="enumerate",
+            )
+            pruned = approach4_lines(
+                victim.artifacts, intruder.artifacts, mumbs_mode=mode,
+                engine="prune",
+            )
+            check.expect(
+                enumerated == pruned,
+                f"{victim.name}<-{intruder.name} ({mode}): enumerate "
+                f"{enumerated} != prune {pruned}",
+            )
+    return check.violations
+
+
+def oracle_heap_vs_scan(
+    case: BuiltCase, budget: AnalysisBudget | None = None
+) -> list[Violation]:
+    """Heap- and scan-backed schedulers produce identical runs."""
+    check = _Check("heap_vs_scan")
+    try:
+        heap = _simulate(case, "heap", budget)
+        scan = _simulate(case, "scan", budget)
+    except ReproError:
+        return check.violations
+    check.expect(
+        heap.jobs == scan.jobs,
+        lambda: f"job records diverge: {_first_diff(heap.jobs, scan.jobs)}",
+    )
+    check.expect(
+        heap.events == scan.events,
+        lambda: f"event streams diverge: {_first_diff(heap.events, scan.events)}",
+    )
+    check.expect(
+        heap.end_time == scan.end_time,
+        f"end times diverge: heap {heap.end_time} != scan {scan.end_time}",
+    )
+    return check.violations
+
+
+def _first_diff(a: list, b: list) -> str:
+    for index, (left, right) in enumerate(zip(a, b)):
+        if left != right:
+            return f"at {index}: heap={left!r} scan={right!r}"
+    return f"length {len(a)} vs {len(b)}"
+
+
+def _fingerprint(art) -> tuple:
+    return (
+        art.name,
+        art.wcet.cycles,
+        dict(art.wcet.per_scenario_cycles),
+        art.footprint,
+        art.useful.mumbs(),
+        art.path_profiles,
+        art.path_enumeration_complete,
+    )
+
+
+def oracle_store_parity(
+    case: BuiltCase, budget: AnalysisBudget | None = None
+) -> list[Violation]:
+    """A disk-tier store hit replays the cold run exactly: identical
+    artifacts (through a pickle round-trip) and identical ledger events."""
+    check = _Check("store_parity")
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-store-") as tmp:
+        store = ArtifactStore(directory=tmp)
+        for task in case.tasks:
+            cold_ledger = DegradationLedger()
+            cold = analyze_task(
+                task.layout, task.scenarios, case.config,
+                budget=budget, ledger=cold_ledger, store=store,
+            )
+            store.clear_memory()
+            warm_ledger = DegradationLedger()
+            warm = analyze_task(
+                task.layout, task.scenarios, case.config,
+                budget=budget, ledger=warm_ledger, store=store,
+            )
+            check.expect(
+                _fingerprint(cold) == _fingerprint(warm),
+                f"{task.name}: warm artifacts differ from cold",
+            )
+            check.expect(
+                cold_ledger.events == warm_ledger.events,
+                f"{task.name}: warm ledger replay differs "
+                f"({cold_ledger.events} vs {warm_ledger.events})",
+            )
+            check.expect(
+                _fingerprint(cold) == _fingerprint(task.artifacts),
+                f"{task.name}: store-path artifacts differ from the "
+                f"store-free build",
+            )
+    return check.violations
+
+
+#: Ordered oracle registry: cheap invariants first, re-analysis last.
+ORACLES: dict[str, Callable[..., list[Violation]]] = {
+    "approach_ordering": oracle_approach_ordering,
+    "kernel_vs_naive": oracle_kernel_vs_naive,
+    "prune_vs_enumerate": oracle_prune_vs_enumerate,
+    "wcet_soundness": oracle_wcet_soundness,
+    "reload_soundness": oracle_reload_soundness,
+    "heap_vs_scan": oracle_heap_vs_scan,
+    "art_soundness": oracle_art_soundness,
+    "store_parity": oracle_store_parity,
+    "cmiss_monotonicity": oracle_cmiss_monotonicity,
+}
+
+
+def validate_oracle_names(names: Iterable[str] | None) -> None:
+    """Reject unknown oracle names up front (a config error, not a case
+    failure — the campaign's crash-to-violation net must not catch it)."""
+    for name in names or ():
+        if name not in ORACLES:
+            raise ConfigError(
+                f"unknown fuzz oracle {name!r} (known: {', '.join(ORACLES)})"
+            )
+
+
+def run_oracles(
+    case: BuiltCase,
+    names: Iterable[str] | None = None,
+    budget: AnalysisBudget | None = None,
+) -> list[Violation]:
+    """Run the selected oracles (all by default) and collect violations."""
+    violations: list[Violation] = []
+    for name in names if names is not None else ORACLES:
+        if name not in ORACLES:
+            raise ConfigError(
+                f"unknown fuzz oracle {name!r} (known: {', '.join(ORACLES)})"
+            )
+        oracle = ORACLES[name]
+        with _OBS.tracer.span("fuzz.oracle", oracle=name):
+            found = oracle(case, budget=budget)
+        if found and _OBS.enabled:
+            _OBS.metrics.counter(f"fuzz.violations.{name}").inc(len(found))
+        violations.extend(found)
+    return violations

@@ -137,7 +137,12 @@ def compute_task_wcrt(
     Release jitter follows Tindell's extendible framework (the paper's
     [19]): the busy window ``w`` iterates with ``ceil((w + Jj)/Pj)``
     releases per interferer and the response is ``w + Ji``.  With all
-    jitters zero this reduces to the paper's Equation 7 exactly.
+    jitters zero this reduces to the paper's Equation 7 exactly.  The
+    boundary is exclusive on both axes — an interferer release landing
+    exactly at the busy window's end belongs to the next busy period
+    (``ceil`` of an exact multiple, no ``+1``), and a response exactly
+    equal to the deadline is schedulable — see
+    ``tests/test_wcrt_boundaries.py`` for the pinned cases.
 
     ``stop_at_deadline=True`` terminates as soon as the response exceeds
     the deadline (sufficient for a schedulability verdict); ``False`` keeps

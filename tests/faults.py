@@ -13,7 +13,10 @@ Factories here fabricate the failure modes the guard layer
 * :data:`DEGENERATE_GEOMETRIES` — legal-but-extreme cache shapes the
   analysis must handle without special-casing,
 * :data:`INVALID_GEOMETRIES` — cache shapes that must be rejected with a
-  typed :class:`~repro.errors.ConfigError`.
+  typed :class:`~repro.errors.ConfigError`,
+* :data:`PICKLE_CORRUPTIONS` — ways an on-disk artifact-cache entry can
+  rot (truncation, garbage, an unrelated pickle, an empty file); the
+  store must treat each as a miss, delete the entry and count it.
 
 ``tests/test_guard.py`` drives the pipeline with these and asserts the
 robustness invariant from docs/robustness.md: every run returns either a
@@ -23,6 +26,8 @@ silently unsound number.
 """
 
 from __future__ import annotations
+
+import pickle
 
 from repro.cache import CacheConfig
 from repro.program import ProgramBuilder
@@ -109,3 +114,14 @@ INVALID_GEOMETRIES: tuple[dict, ...] = (
     dict(num_sets=8, ways=0, line_size=16, miss_penalty=20),
     dict(num_sets=8, ways=2, line_size=16, miss_penalty=-1),
 )
+
+#: name -> transform(valid pickle bytes) -> corrupted bytes.  Each models
+#: a distinct on-disk failure: a write cut short mid-stream, random bit
+#: rot, a file some other program wrote into the cache directory, and a
+#: zero-length file left by a full disk.
+PICKLE_CORRUPTIONS: dict = {
+    "truncated": lambda payload: payload[: max(1, len(payload) // 2)],
+    "garbage": lambda payload: b"\x00rotten" + payload[::-3],
+    "foreign_pickle": lambda payload: pickle.dumps({"not": "an artifact"}),
+    "empty": lambda payload: b"",
+}

@@ -1,88 +1,78 @@
 """Property-based soundness: random programs vs the analysis chain.
 
-Hypothesis generates small structured programs (loops, branches, data-
-dependent indexing); for each random (preempted, preempting) pair we
-verify the paper's claims empirically:
+The random-case space lives in :mod:`repro.fuzz.generator`; this file
+drives the same ``draw_*`` functions through a Hypothesis adapter
+(:class:`HypothesisDraw`), so the property tests and the ``repro fuzz``
+campaign explore one shared generator by construction — there is no
+second program-shape strategy to drift out of sync.
+
+For each random (preempted, preempting) pair we verify the paper's
+claims empirically:
 
 * measured reloads after a real preemption never exceed any approach's
   line bound (Approaches 1-4 are all sound),
 * the approach ordering App4 <= min(App2, App3) <= App1 holds,
-* cold-cache WCET measurement dominates any warm-cache run.
+* cold-cache WCET measurement dominates any warm-cache run (on LRU
+  write-through, where that domination actually holds — a warm victim
+  on a write-back cache can pay for the intruder's dirty lines).
 """
+
+from dataclasses import replace
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.analysis import ALL_APPROACHES, Approach, CRPDAnalyzer, analyze_task
 from repro.cache import CacheConfig, CacheState
-from repro.program import ProgramBuilder, SystemLayout
+from repro.fuzz.build import build_program, scenarios_for
+from repro.fuzz.generator import Draw, draw_cache_spec, draw_program_spec
+from repro.program import SystemLayout
 from repro.vm import Machine
 
 
-@st.composite
-def random_programs(draw, name):
-    """A small structured program over 1-3 arrays with loops and a branch."""
-    b = ProgramBuilder(name)
-    array_count = draw(st.integers(min_value=1, max_value=3))
-    arrays = [
-        b.array(f"arr{i}", words=draw(st.sampled_from([8, 16, 24, 32])))
-        for i in range(array_count)
-    ]
-    flag = b.scalar("flag")
-    b.load("f", flag, index=0)
+class HypothesisDraw(Draw):
+    """The generator's three-primitive :class:`Draw` protocol backed by
+    Hypothesis strategies, so failures shrink through Hypothesis while the
+    case space stays identical to the campaign's :class:`RandomDraw`."""
 
-    def emit_loop():
-        array = draw(st.sampled_from(arrays))
-        reps = draw(st.integers(min_value=1, max_value=3))
-        stride = draw(st.sampled_from([1, 2]))
-        with b.loop(reps):
-            with b.loop(array.words // stride) as i:
-                b.mul("idx", i, stride)
-                b.load("v", array, index="idx")
-                b.binop("v", "add", "v", 1)
-                if draw(st.booleans()):
-                    b.store("v", array, index="idx")
+    def __init__(self, draw):
+        self._draw = draw
 
-    emit_loop()
-    if draw(st.booleans()):
-        with b.if_else("f") as arms:
-            with arms.then_case():
-                emit_loop()
-            with arms.else_case():
-                emit_loop()
-    if draw(st.booleans()):
-        emit_loop()
-    program = b.build()
-    inputs = {
-        "flag": [draw(st.integers(min_value=0, max_value=1))],
-    }
-    for array in arrays:
-        inputs[array.name] = list(range(array.words))
-    return program, inputs
+    def integer(self, low: int, high: int) -> int:
+        return self._draw(st.integers(min_value=low, max_value=high))
+
+    def choice(self, options):
+        return self._draw(st.sampled_from(list(options)))
+
+    def boolean(self) -> bool:
+        return self._draw(st.booleans())
 
 
-@st.composite
-def task_pairs(draw):
-    config = CacheConfig(
-        num_sets=draw(st.sampled_from([8, 16, 32])),
-        ways=draw(st.sampled_from([1, 2, 4])),
-        line_size=16,
-        miss_penalty=20,
+def _config_from(cache_spec) -> CacheConfig:
+    return CacheConfig(
+        num_sets=cache_spec.num_sets,
+        ways=cache_spec.ways,
+        line_size=cache_spec.line_size,
+        miss_penalty=cache_spec.miss_penalty,
+        policy=cache_spec.policy,
+        write_back=cache_spec.write_back,
     )
-    low_program, low_inputs = draw(random_programs("low"))
-    high_program, high_inputs = draw(random_programs("high"))
+
+
+@st.composite
+def task_pairs(draw, lru_write_through=False):
+    """A shared-generator cache plus a placed (low, high) program pair."""
+    d = HypothesisDraw(draw)
+    cache_spec = draw_cache_spec(d)
+    if lru_write_through:
+        cache_spec = replace(cache_spec, policy="lru", write_back=False)
+    config = _config_from(cache_spec)
     layout = SystemLayout()
-    low_layout = layout.place(low_program)
-    high_layout = layout.place(high_program)
-    return config, (low_layout, low_inputs), (high_layout, high_inputs)
-
-
-def scenarios_for(inputs):
-    """Both branch directions, so traces cover every feasible path."""
-    zero = dict(inputs)
-    zero["flag"] = [0]
-    one = dict(inputs)
-    one["flag"] = [1]
-    return {"flag0": zero, "flag1": one}
+    placed = []
+    for name in ("low", "high"):
+        program, inputs = build_program(draw_program_spec(d), name)
+        inputs["flag"] = [int(d.boolean())]
+        placed.append((layout.place(program), inputs))
+    return config, placed[0], placed[1]
 
 
 _SETTINGS = settings(
@@ -90,6 +80,26 @@ _SETTINGS = settings(
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
+
+
+def _run_to_step(layout, inputs, cache, step_limit):
+    machine = Machine(layout=layout, cache=cache)
+    for array, values in inputs.items():
+        machine.write_array(array, values)
+    steps = 0
+    while not machine.halted and steps < step_limit:
+        machine.step()
+        steps += 1
+    return machine
+
+
+def _measure_reloads(machine, cache, evicted):
+    reloaded: set[int] = set()
+    while not machine.halted:
+        before = cache.resident_blocks()
+        machine.step()
+        reloaded |= (cache.resident_blocks() - before) & evicted
+    return len(reloaded)
 
 
 @given(pair=task_pairs(), preempt_step=st.integers(min_value=1, max_value=400))
@@ -101,13 +111,7 @@ def test_measured_reloads_bounded_by_every_approach(pair, preempt_step):
     crpd = CRPDAnalyzer({"low": low_art, "high": high_art})
 
     cache = CacheState(config)
-    machine = Machine(layout=low_layout, cache=cache)
-    for array, values in low_inputs.items():
-        machine.write_array(array, values)
-    steps = 0
-    while not machine.halted and steps < preempt_step:
-        machine.step()
-        steps += 1
+    machine = _run_to_step(low_layout, low_inputs, cache, preempt_step)
     if machine.halted:
         return  # preemption point beyond the program's end; trivially fine
 
@@ -117,13 +121,7 @@ def test_measured_reloads_bounded_by_every_approach(pair, preempt_step):
         intruder.write_array(array, values)
     intruder.run()
     evicted = resident_before - cache.resident_blocks()
-
-    reloaded: set[int] = set()
-    while not machine.halted:
-        before = cache.resident_blocks()
-        machine.step()
-        reloaded |= (cache.resident_blocks() - before) & evicted
-    measured = len(reloaded)
+    measured = _measure_reloads(machine, cache, evicted)
 
     lines = {a: crpd.lines_reloaded("low", "high", a) for a in ALL_APPROACHES}
     for approach, bound in lines.items():
@@ -153,14 +151,7 @@ def test_per_point_mode_sound_and_dominates_def4(pair):
 
     # Empirical check against a mid-run full eviction by the real intruder.
     cache = CacheState(config)
-    machine = Machine(layout=low_layout, cache=cache)
-    for array, values in low_inputs.items():
-        machine.write_array(array, values)
-    half = 60
-    steps = 0
-    while not machine.halted and steps < half:
-        machine.step()
-        steps += 1
+    machine = _run_to_step(low_layout, low_inputs, cache, 60)
     if machine.halted:
         return
     resident_before = cache.resident_blocks() & low_art.footprint
@@ -169,19 +160,17 @@ def test_per_point_mode_sound_and_dominates_def4(pair):
         intruder.write_array(array, values)
     intruder.run()
     evicted = resident_before - cache.resident_blocks()
-    reloaded: set[int] = set()
-    while not machine.halted:
-        before = cache.resident_blocks()
-        machine.step()
-        reloaded |= (cache.resident_blocks() - before) & evicted
-    assert len(reloaded) <= tight_lines
+    machine_reloads = _measure_reloads(machine, cache, evicted)
+    assert machine_reloads <= tight_lines
 
 
 @given(pair=task_pairs())
 @_SETTINGS
 def test_static_bound_dominates_measured_wcet(pair):
     """The all-miss structural bound dominates the measured WCET for
-    arbitrary generated programs."""
+    arbitrary generated programs — including write-back caches, where
+    every miss may also pay a dirty-line writeback (the fuzz campaign's
+    first engine catch; see tests/test_fuzz_regressions.py)."""
     from repro.analysis.wcet import static_wcet_bound
 
     config, (low_layout, low_inputs), _ = pair
@@ -222,11 +211,13 @@ def test_lee_bound_dominates_any_single_point(pair):
         assert point.reload_bound() <= lee
 
 
-@given(pair=task_pairs())
+@given(pair=task_pairs(lru_write_through=True))
 @_SETTINGS
 def test_cold_wcet_dominates_warm_runs(pair):
     """The WCET measured from a cold cache bounds any warm-start run of
-    the same scenario (LRU has no cold-start anomalies)."""
+    the same scenario.  This holds on LRU write-through only: LRU has no
+    cold-start anomalies, but under write-back the warm run can pay
+    writebacks for dirty lines the intruder left behind."""
     config, (low_layout, low_inputs), (high_layout, high_inputs) = pair
     low_art = analyze_task(low_layout, scenarios_for(low_inputs), config)
     # Warm the cache with the other task, then run the measured scenario.

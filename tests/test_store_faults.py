@@ -1,0 +1,99 @@
+"""Fault injection against the on-disk artifact cache.
+
+The docstring contract of :mod:`repro.analysis.store` says corrupt or
+unreadable disk entries are treated as misses, never as errors, that the
+offending file is deleted so the slot heals on the next ``put``, and
+that every such event is counted (``ArtifactStore.corrupt`` instance
+counter and the ``store.corrupt`` obs metric).  These tests rot cache
+entries in every way :data:`tests.faults.PICKLE_CORRUPTIONS` knows and
+assert all three promises, plus the honesty invariant that a corrupt
+lookup still lands in ``misses`` (``gets == hits + misses``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import analyze_task
+from repro.analysis.store import ArtifactStore
+from repro.obs import observed
+from repro.program import SystemLayout
+
+from tests.conftest import make_streaming_program
+from tests.faults import PICKLE_CORRUPTIONS
+
+
+def _analyzed_once(tmp_path, config):
+    """Analyze one program through a disk-backed store; return the layout,
+    scenarios and the single ``.pkl`` entry the run produced."""
+    program = make_streaming_program("rot", words=16, reps=1)
+    layout = SystemLayout().place(program)
+    scenarios = {"s": {"data": list(range(16))}}
+    store = ArtifactStore(directory=tmp_path)
+    artifacts = analyze_task(layout, scenarios, config, store=store)
+    (entry,) = tmp_path.glob("*.pkl")
+    return layout, scenarios, entry, artifacts
+
+
+@pytest.mark.parametrize("corruption", sorted(PICKLE_CORRUPTIONS))
+def test_corrupt_entry_is_a_counted_miss_and_heals(
+    tmp_path, tiny_cache_config, corruption
+):
+    layout, scenarios, entry, cold = _analyzed_once(tmp_path, tiny_cache_config)
+    entry.write_bytes(PICKLE_CORRUPTIONS[corruption](entry.read_bytes()))
+
+    store = ArtifactStore(directory=tmp_path)  # fresh LRU: must go to disk
+    warm = analyze_task(layout, scenarios, tiny_cache_config, store=store)
+
+    # Miss, not crash — and the lookup stays honest.
+    assert (store.hits, store.misses, store.corrupt) == (0, 1, 1)
+    assert store.gets == store.hits + store.misses
+    # Recomputation matches the cold run.
+    assert warm.wcet.cycles == cold.wcet.cycles
+    assert warm.footprint == cold.footprint
+    # The rotten file was replaced by the re-analysis put...
+    assert entry.exists()
+    # ...with a loadable entry: the next disk lookup hits.
+    retry = ArtifactStore(directory=tmp_path)
+    analyze_task(layout, scenarios, tiny_cache_config, store=retry)
+    assert (retry.hits, retry.misses, retry.corrupt) == (1, 0, 0)
+
+
+def test_corrupt_entry_increments_obs_metric(tmp_path, tiny_cache_config):
+    layout, scenarios, entry, _ = _analyzed_once(tmp_path, tiny_cache_config)
+    entry.write_bytes(b"")
+    with observed() as (_, metrics):
+        store = ArtifactStore(directory=tmp_path)
+        analyze_task(layout, scenarios, tiny_cache_config, store=store)
+    counters = metrics.to_dict()["counters"]
+    assert counters["store.corrupt"] == 1
+    assert counters["store.misses"] == 1
+    assert store.corrupt == 1
+
+
+def test_undeletable_entry_is_still_just_a_miss(tmp_path, tiny_cache_config):
+    """An entry that can be neither read nor unlinked (here: a directory
+    squatting on the entry's path) degrades to a plain counted miss."""
+    layout, scenarios, entry, cold = _analyzed_once(tmp_path, tiny_cache_config)
+    entry.unlink()
+    entry.mkdir()  # read_bytes -> IsADirectoryError, unlink -> OSError
+
+    store = ArtifactStore(directory=tmp_path)
+    warm = analyze_task(layout, scenarios, tiny_cache_config, store=store)
+    assert (store.hits, store.misses, store.corrupt) == (0, 1, 1)
+    assert warm.wcet.cycles == cold.wcet.cycles
+    assert entry.is_dir()  # undeletable: left in place, analysis unharmed
+
+
+def test_mangled_tail_does_not_resurrect_stale_artifacts(
+    tmp_path, tiny_cache_config
+):
+    """Appending junk after a valid pickle stream must not produce a hit
+    with silently wrong provenance: pickle stops at the stream's STOP
+    opcode, so the entry still loads — this pins that behaviour as a
+    *hit* (the prefix is the genuine artifact) rather than corruption."""
+    layout, scenarios, entry, _ = _analyzed_once(tmp_path, tiny_cache_config)
+    entry.write_bytes(entry.read_bytes() + b"trailing junk")
+    store = ArtifactStore(directory=tmp_path)
+    analyze_task(layout, scenarios, tiny_cache_config, store=store)
+    assert (store.hits, store.corrupt) == (1, 0)

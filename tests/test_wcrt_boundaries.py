@@ -1,0 +1,151 @@
+"""Boundary regressions for the WCRT recurrence (Eq. 6/7 + Tindell jitter).
+
+These pin the exact semantics at the three places an off-by-one could
+hide and survive every round-number test:
+
+* the interference count ``ceil((w + Jj) / Pj)`` when ``w + Jj`` lands
+  exactly on a period multiple — the release at the busy window's end
+  belongs to the *next* busy period and must not interfere;
+* the ``stop_at_deadline`` cut, which compares the *response*
+  (``w + Ji``, own jitter included) strictly against the deadline —
+  meeting the deadline exactly is schedulable and must not stop the
+  iteration short of its fixpoint;
+* the response/deadline equality in the final schedulability verdict.
+
+Each expected number below is derived by hand in the comments, so a
+future "fix" that shifts any boundary by one fails loudly here.
+"""
+
+from __future__ import annotations
+
+from repro.wcrt import TaskSpec, TaskSystem
+from repro.wcrt.response_time import compute_task_wcrt
+
+
+def _two_tasks(victim_wcet, intruder_wcet, intruder_period, *,
+               victim_jitter=0, intruder_jitter=0, victim_deadline=None,
+               victim_period=100):
+    return TaskSystem(
+        tasks=[
+            TaskSpec("intruder", wcet=intruder_wcet, period=intruder_period,
+                     priority=1, jitter=intruder_jitter),
+            TaskSpec("victim", wcet=victim_wcet, period=victim_period,
+                     priority=2, jitter=victim_jitter,
+                     deadline=victim_deadline),
+        ]
+    )
+
+
+class TestPeriodMultipleBoundary:
+    def test_release_at_window_end_does_not_interfere(self):
+        # C_v=6, C_j=4, P_j=10: w = 6 -> ceil(6/10)*4+6 = 10 -> ceil(10/10)
+        # = 1 release -> w = 10, fixpoint.  The intruder's second release
+        # at t=10 coincides with the window end and must not be counted;
+        # counting it would send the iteration to 14.
+        result = compute_task_wcrt(_two_tasks(6, 4, 10), "victim")
+        assert result.converged and result.wcrt == 10
+
+    def test_jitter_shifts_the_boundary_not_past_it(self):
+        # Same geometry with J_j=2 chosen so the fixpoint lands exactly on
+        # the boundary: w = 4 -> ceil((4+2)/10) = 1 -> w = 8 ->
+        # ceil((8+2)/10) = 1 exactly -> w = 8, fixpoint.  An inclusive
+        # boundary would count 2 and settle at 12 instead.
+        result = compute_task_wcrt(
+            _two_tasks(4, 4, 10, intruder_jitter=2), "victim"
+        )
+        assert result.converged and result.wcrt == 8
+
+    def test_one_cycle_of_jitter_buys_the_extra_release(self):
+        # J_j=0 converges at 10 (above); J_j=1 pushes the count at w=10 to
+        # ceil(11/10) = 2: w = 6 -> 10 -> 14 -> ceil(15/10) = 2 -> 14.
+        # The extra preemption appears exactly one cycle past the
+        # boundary, not at it.
+        result = compute_task_wcrt(
+            _two_tasks(6, 4, 10, intruder_jitter=1), "victim"
+        )
+        assert result.converged and result.wcrt == 14
+
+    def test_multiple_releases_exact_boundary(self):
+        # Two full periods: C_v=12, C_j=4, P_j=10: w = 12 ->
+        # ceil(12/10)=2 -> w = 20 -> ceil(20/10) = 2, fixpoint.  The
+        # third release at t=20 must not be counted (it would diverge
+        # through 24 -> ceil(24/10)=3 -> 24...).
+        result = compute_task_wcrt(_two_tasks(12, 4, 10), "victim")
+        assert result.converged and result.wcrt == 20
+
+
+class TestDeadlineBoundary:
+    def test_response_equal_to_deadline_is_schedulable(self):
+        # Alone on the processor: response = C + J = 5 + 3 = 8 == D.
+        result = compute_task_wcrt(
+            TaskSystem(tasks=[TaskSpec("victim", wcet=5, period=100,
+                                       priority=1, jitter=3, deadline=8)]),
+            "victim",
+        )
+        assert result.converged and result.wcrt == 8
+        assert result.schedulable and not result.deadline_stopped
+
+    def test_response_one_past_deadline_is_not(self):
+        # TaskSpec rejects wcet + jitter > deadline outright, so the
+        # overrun must come from interference: fixpoint response 10 with
+        # D = 9.  (stop_at_deadline=False keeps the verdict on the exact
+        # fixpoint rather than a deadline stop.)
+        result = compute_task_wcrt(
+            _two_tasks(6, 4, 10, victim_deadline=9), "victim",
+            stop_at_deadline=False,
+        )
+        assert result.converged and result.wcrt == 10
+        assert not result.schedulable and not result.deadline_stopped
+
+    def test_stop_at_deadline_does_not_trip_on_exact_equality(self):
+        # The iteration passes through response == deadline == 10 on its
+        # way to the fixpoint 10 (converged there).  A non-strict stop
+        # would mark it deadline_stopped and lose the exact verdict.
+        result = compute_task_wcrt(
+            _two_tasks(6, 4, 10, victim_deadline=10), "victim",
+            stop_at_deadline=True,
+        )
+        assert result.converged and not result.deadline_stopped
+        assert result.wcrt == 10 and result.schedulable
+
+    def test_stop_uses_response_not_raw_window(self):
+        # Window fixpoint is 10 but response = w + J_v = 13 > D = 12; a
+        # stop that compared the raw window would miss the overrun.
+        result = compute_task_wcrt(
+            _two_tasks(6, 4, 10, victim_jitter=3, victim_deadline=12),
+            "victim", stop_at_deadline=True,
+        )
+        assert result.wcrt == 13
+        assert result.deadline_stopped or (
+            result.converged and not result.schedulable
+        )
+
+    def test_stop_at_deadline_false_reaches_true_fixpoint(self):
+        # D=8 is overrun at the first update (w=10 -> response 10 > 8) but
+        # the unstopped iteration must still report the exact fixpoint.
+        stopped = compute_task_wcrt(
+            _two_tasks(6, 4, 10, victim_deadline=8), "victim",
+            stop_at_deadline=True,
+        )
+        exact = compute_task_wcrt(
+            _two_tasks(6, 4, 10, victim_deadline=8), "victim",
+            stop_at_deadline=False,
+        )
+        assert stopped.deadline_stopped and not stopped.schedulable
+        assert exact.converged and exact.wcrt == 10
+        assert not exact.schedulable  # 10 > 8 even at the exact fixpoint
+
+
+class TestJitterInterferenceIsMonotone:
+    def test_wcrt_never_decreases_with_interferer_jitter(self):
+        previous = 0
+        # J <= 6: TaskSpec rejects wcet + jitter > deadline beyond that.
+        for jitter in range(0, 7):
+            result = compute_task_wcrt(
+                _two_tasks(6, 4, 10, intruder_jitter=jitter), "victim"
+            )
+            assert result.converged
+            assert result.wcrt >= previous, (
+                f"J={jitter}: wcrt {result.wcrt} < {previous}"
+            )
+            previous = result.wcrt
