@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Diff a fresh ``BENCH_perf.json`` against the committed baseline.
+
+CI runs the perf bench (which rewrites ``BENCH_perf.json`` in place and
+asserts the absolute gates), then this script compares every metric in
+the bench's ``gated`` section against the baseline committed at a git
+ref (default ``HEAD``).  Any gated metric that regressed by more than
+``--tolerance`` (default 25%) fails the build — catching slow drift the
+absolute gates would only notice once it crosses their floor.
+
+Every run also appends one line to ``BENCH_trajectory.jsonl`` (commit,
+timestamp, gated metrics), so the repo accumulates a bench history that
+plots regressions over time.
+
+Exit codes: 0 ok, 1 regression, 2 usage/missing-input errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_TOLERANCE = 0.25
+
+
+def load_baseline(ref: str, path: str) -> dict | None:
+    """The bench JSON committed at *ref*, or ``None`` if absent there."""
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:{path}"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except ValueError:
+        return None
+
+
+def current_commit() -> str:
+    proc = subprocess.run(
+        ["git", "rev-parse", "--short", "HEAD"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    return proc.stdout.strip() if proc.returncode == 0 else "unknown"
+
+
+def append_trajectory(path: Path, gated: dict) -> None:
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "commit": current_commit(),
+        "gated": gated,
+    }
+    with path.open("a") as handle:
+        handle.write(json.dumps(entry) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench", default=str(REPO_ROOT / "BENCH_perf.json"),
+        help="fresh bench JSON to check (default: repo BENCH_perf.json)",
+    )
+    parser.add_argument(
+        "--baseline-ref", default="HEAD",
+        help="git ref holding the committed baseline (default: HEAD)",
+    )
+    parser.add_argument(
+        "--baseline-path", default="BENCH_perf.json",
+        help="repo-relative path of the baseline at the ref",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="maximum allowed fractional regression (default: 0.25)",
+    )
+    parser.add_argument(
+        "--trajectory", default=str(REPO_ROOT / "BENCH_trajectory.jsonl"),
+        help="bench history file to append to",
+    )
+    args = parser.parse_args(argv)
+
+    bench_path = Path(args.bench)
+    try:
+        fresh = json.loads(bench_path.read_text())
+    except (OSError, ValueError) as error:
+        print(f"bench-diff: cannot read {bench_path}: {error}", file=sys.stderr)
+        return 2
+    gated = fresh.get("gated")
+    if not isinstance(gated, dict) or not gated:
+        print(f"bench-diff: {bench_path} has no 'gated' section", file=sys.stderr)
+        return 2
+
+    append_trajectory(Path(args.trajectory), gated)
+
+    baseline = load_baseline(args.baseline_ref, args.baseline_path)
+    baseline_gated = (baseline or {}).get("gated")
+    if not isinstance(baseline_gated, dict):
+        print(
+            f"bench-diff: no baseline 'gated' section at "
+            f"{args.baseline_ref}:{args.baseline_path}; recording only"
+        )
+        return 0
+
+    failures = []
+    for name, fresh_value in sorted(gated.items()):
+        base_value = baseline_gated.get(name)
+        if not isinstance(base_value, (int, float)) or base_value <= 0:
+            print(f"  {name}: {fresh_value} (new metric, no baseline)")
+            continue
+        change = (fresh_value - base_value) / base_value
+        marker = "ok"
+        if change < -args.tolerance:
+            marker = "REGRESSION"
+            failures.append(name)
+        print(
+            f"  {name}: {base_value} -> {fresh_value} "
+            f"({change:+.1%}) {marker}"
+        )
+    if failures:
+        print(
+            f"bench-diff: {len(failures)} gated metric(s) regressed more "
+            f"than {args.tolerance:.0%}: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    print("bench-diff: all gated metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

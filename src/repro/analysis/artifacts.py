@@ -18,23 +18,35 @@ everything has no sound shortcut.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
 from repro.analysis.rmb_lmb import RMBLMBResult, solve_rmb_lmb
 from repro.analysis.useful import UsefulBlocksAnalysis, compute_useful_blocks
-from repro.analysis.wcet import Scenarios, WCETResult, measure_wcet
+from repro.analysis.wcet import (
+    Scenarios,
+    WCETResult,
+    cycles_from_counts,
+    measure_wcet_detailed,
+    worst_of,
+)
 from repro.cache.ciip import CIIP
 from repro.cache.config import CacheConfig
+from repro.cache.state import CacheState
 from repro.errors import PathExplosionError
 from repro.obs import STATE as _OBS
 from repro.program.builder import Program
 from repro.program.layout import ProgramLayout
 from repro.program.paths import PathProfile, enumerate_path_profiles
-from repro.vm.trace import NodeTraceAggregate
+from repro.vm.trace import (
+    CompactTrace,
+    LazyTraces,
+    NodeTraceAggregate,
+    compact_traces,
+)
 
 if TYPE_CHECKING:
-    from repro.analysis.store import ArtifactStore
+    from repro.analysis.store import ArtifactStore, FlowBundle
     from repro.guard.budget import AnalysisBudget, BudgetClock
     from repro.guard.ledger import DegradationLedger
 
@@ -57,6 +69,11 @@ class TaskArtifacts:
     #: profile list is then NOT a sound basis for Eq. 4 and path-level
     #: CRPD must fall back to bounds that need no paths.
     path_enumeration_complete: bool = True
+    #: Content keys of the sub-artifacts these artifacts were assembled
+    #: from (``trace``/``sim``/``flow``/``paths``); ``None`` when analysed
+    #: without a store.  Pair-level caching keys off these (see
+    #: :func:`repro.analysis.store.pair_key`).
+    subkeys: "dict[str, str] | None" = field(default=None, compare=False)
 
     @property
     def program(self) -> Program:
@@ -155,11 +172,17 @@ def analyze_task(
     a record of any degradation; *clock* lets a caller share one wall-clock
     countdown across several tasks.
 
-    With a *store* (see :mod:`repro.analysis.store`), the result is looked
-    up / persisted under a content hash of every analysis input; a hit
-    skips the pipeline entirely and replays the original degradation
-    events into *ledger*, so cached and cold runs are indistinguishable to
-    callers.
+    With a *store* (see :mod:`repro.analysis.store`), every pipeline stage
+    is looked up / persisted as a **sub-artifact** keyed only by the
+    inputs that stage reads: the reference traces (cache-independent),
+    the per-scenario hit/miss counts (geometry-dependent, cost-free), the
+    RMB/LMB/CIIP/useful analyses (likewise) and the path profiles
+    (structure-only).  A penalty sweep therefore re-costs cached counts in
+    O(1); a geometry sweep replays cached traces instead of re-simulating;
+    and a full hit assembles artifacts without touching the trace entry at
+    all (``wcet.traces`` becomes a lazy view).  Degradation events stored
+    with a stage are replayed into *ledger* on every hit, so cached and
+    cold runs are indistinguishable to callers.
     """
     program = layout.program
     program.cfg.validate()
@@ -170,60 +193,282 @@ def analyze_task(
         if clock is None:
             clock = budget.start()
     strict = budget.strict if budget is not None else False
-    with _OBS.tracer.span("analyze.task", task=program.name) as span:
-        key = None
-        if store is not None and store.enabled:
-            from repro.analysis.store import CachedAnalysis, artifact_key
+    use_store = store is not None and store.enabled
 
-            key = artifact_key(
+    def replay(span, event, into_ledger: bool = True) -> None:
+        # Replayed degradations become ledger entries and span events, so
+        # a cached trace tells the same story as a cold one.
+        if ledger is not None and into_ledger:
+            ledger.events.append(event)
+        span.event(
+            "ledger.degradation",
+            stage=event.stage,
+            budget=event.budget,
+            fallback=event.fallback,
+            replayed=True,
+        )
+
+    with _OBS.tracer.span("analyze.task", task=program.name) as span:
+        task_key = None
+        if use_store:
+            from repro.analysis.store import artifact_key
+
+            task_key = artifact_key(
                 layout, scenarios, config, max_steps, path_limit, strict
             )
-            cached = store.get(key)
-            if cached is not None:
-                for event in cached.events:
-                    if ledger is not None:
-                        ledger.events.append(event)
-                    # Replayed degradations become span events too, so a
-                    # cached trace tells the same story as a cold one.
-                    span.event(
-                        "ledger.degradation",
-                        stage=event.stage,
-                        budget=event.budget,
-                        fallback=event.fallback,
-                        replayed=True,
-                    )
+            memo = store.get(task_key, kind="task", memory_only=True)
+            if memo is not None:
+                for event in memo.events:
+                    replay(span, event)
                 span.set(cache_hit=True)
-                return cached.artifacts
+                return memo.artifacts
         span.set(cache_hit=False)
-        if clock is not None:
-            clock.check(f"wcet:{program.name}")
-        wcet = measure_wcet(layout, scenarios, config, max_steps=max_steps)
-        if clock is not None:
-            clock.check(f"dataflow:{program.name}")
-        aggregate = NodeTraceAggregate.from_recorders(
-            config, wcet.traces.values()
-        )
-        footprint = aggregate.footprint()
-        dataflow = solve_rmb_lmb(program.cfg, aggregate, config)
-        useful = compute_useful_blocks(program.cfg, dataflow, aggregate)
-        path_profiles: list[PathProfile] = []
-        path_complete = True
-        local_events = []
-        try:
-            path_profiles = enumerate_path_profiles(program, limit=path_limit)
-        except PathExplosionError as error:
-            if budget is None or budget.strict:
-                raise
-            path_complete = False
-            from repro.guard.ledger import DegradationEvent
 
-            event = DegradationEvent(
-                stage=f"paths:{program.name}",
-                budget="max_paths",
-                reason=str(error),
-                fallback="path-incomplete artifacts (Eq. 4 -> MUMBS∩CIIP)",
+        wcet, runs, trace_bundle, keys = _wcet_stage(
+            layout, scenarios, config, max_steps, store if use_store else None,
+            clock, program.name,
+        )
+        if use_store:
+            from repro.analysis.store import flow_key, paths_key
+
+            keys["flow"] = flow_key(keys["trace"], config)
+            keys["paths"] = paths_key(layout, path_limit, strict)
+        flow = _flow_stage(
+            program, scenarios, config, store if use_store else None,
+            keys.get("flow"), runs, trace_bundle, clock,
+        )
+        path_profiles, path_complete, local_events = _paths_stage(
+            program, path_limit, budget, ledger, span,
+            store if use_store else None, keys.get("paths"),
+        )
+        artifacts = TaskArtifacts(
+            name=program.name,
+            layout=layout,
+            config=config,
+            wcet=wcet,
+            aggregate=flow.aggregate,
+            footprint=flow.footprint,
+            footprint_ciip=flow.footprint_ciip,
+            dataflow=flow.dataflow,
+            useful=flow.useful,
+            path_profiles=path_profiles,
+            path_enumeration_complete=path_complete,
+            subkeys=keys or None,
+        )
+        span.set(
+            wcet_cycles=wcet.cycles,
+            feasible_paths=len(path_profiles),
+            path_enumeration_complete=path_complete,
+        )
+        if task_key is not None:
+            from repro.analysis.store import CachedAnalysis
+
+            store.put(
+                task_key,
+                CachedAnalysis(artifacts, tuple(local_events)),
+                kind="task",
+                memory_only=True,
             )
-            local_events.append(event)
+        return artifacts
+
+
+def _wcet_stage(
+    layout: ProgramLayout,
+    scenarios: Scenarios,
+    config: CacheConfig,
+    max_steps: int,
+    store: "ArtifactStore | None",
+    clock: "BudgetClock | None",
+    name: str,
+):
+    """Trace + sim sub-artifacts -> (wcet, fresh runs or None, bundle, keys).
+
+    Cold: one VM pass per scenario feeds both sub-artifacts.  Trace hit
+    with a sim miss (new geometry): replay the columnar trace through a
+    fresh cache — no VM.  Both hits (new costs only): reassemble cycle
+    counts arithmetically and defer trace decoding entirely.
+    """
+    from repro.analysis.store import (
+        SimBundle,
+        StoreBackedTraces,
+        TraceBundle,
+        sim_key,
+        trace_key,
+    )
+
+    keys: dict[str, str] = {}
+    if store is None:
+        if clock is not None:
+            clock.check(f"wcet:{name}")
+        wcet, runs = measure_wcet_detailed(
+            layout, scenarios, config, max_steps=max_steps
+        )
+        return wcet, runs, None, keys
+    t_key = trace_key(layout, scenarios, max_steps)
+    s_key = sim_key(t_key, config)
+    keys["trace"] = t_key
+    keys["sim"] = s_key
+    trace_bundle = store.get(t_key, kind="trace")
+    if trace_bundle is None:
+        if clock is not None:
+            clock.check(f"wcet:{name}")
+        wcet, runs = measure_wcet_detailed(
+            layout, scenarios, config, max_steps=max_steps
+        )
+        trace_bundle = TraceBundle(
+            scenario_names=tuple(scenarios),
+            traces={
+                scenario: CompactTrace.from_recorder(run.recorder)
+                for scenario, run in runs.items()
+            },
+            base_cycles={
+                scenario: run.base_cycles for scenario, run in runs.items()
+            },
+        )
+        store.put(t_key, trace_bundle, kind="trace")
+        store.put(
+            s_key,
+            SimBundle(
+                counts={
+                    scenario: (run.accesses, run.misses, run.writebacks)
+                    for scenario, run in runs.items()
+                }
+            ),
+            kind="sim",
+        )
+        return wcet, runs, trace_bundle, keys
+    sim_bundle = store.get(s_key, kind="sim")
+    if sim_bundle is None:
+        # New geometry against a known trace: replay, don't re-simulate.
+        if clock is not None:
+            clock.check(f"wcet:{name}")
+        counts = {}
+        for scenario in scenarios:
+            cache = CacheState(config)
+            trace_bundle.traces[scenario].replay(cache)
+            stats = cache.stats
+            counts[scenario] = (
+                stats.hits + stats.misses, stats.misses, stats.writebacks
+            )
+        sim_bundle = SimBundle(counts=counts)
+        store.put(s_key, sim_bundle, kind="sim")
+    # Iterate in the *caller's* scenario order (identical content hashes
+    # regardless of order), so worst-scenario tie-breaking matches what a
+    # cold run with these scenarios would pick.
+    per_scenario = {
+        scenario: cycles_from_counts(
+            config,
+            trace_bundle.base_cycles[scenario],
+            *sim_bundle.counts[scenario],
+        )
+        for scenario in scenarios
+    }
+    worst = worst_of(per_scenario)
+    if store.directory is not None:
+        traces = StoreBackedTraces(store.directory, t_key, tuple(scenarios))
+    else:
+        traces = LazyTraces(trace_bundle.traces)
+    wcet = WCETResult(
+        cycles=per_scenario[worst],
+        worst_scenario=worst,
+        per_scenario_cycles=per_scenario,
+        traces=traces,
+    )
+    return wcet, None, trace_bundle, keys
+
+
+def _flow_stage(
+    program: Program,
+    scenarios: Scenarios,
+    config: CacheConfig,
+    store: "ArtifactStore | None",
+    f_key: "str | None",
+    runs,
+    trace_bundle,
+    clock: "BudgetClock | None",
+) -> "FlowBundle":
+    """Aggregate/CIIP/RMB-LMB/useful sub-artifact, restamped to *config*."""
+    from repro.analysis.store import FlowBundle
+
+    flow = None
+    if store is not None and f_key is not None:
+        flow = store.get(f_key, kind="flow")
+    if flow is not None:
+        return _restamp_flow(flow, config)
+    if clock is not None:
+        clock.check(f"dataflow:{program.name}")
+    if runs is not None:
+        recorders = [runs[scenario].recorder for scenario in scenarios]
+    else:
+        recorders = [
+            trace_bundle.traces[scenario].expand() for scenario in scenarios
+        ]
+    aggregate = NodeTraceAggregate.from_recorders(config, recorders)
+    footprint = aggregate.footprint()
+    dataflow = solve_rmb_lmb(program.cfg, aggregate, config)
+    useful = compute_useful_blocks(program.cfg, dataflow, aggregate)
+    flow = FlowBundle(
+        aggregate=aggregate,
+        footprint=footprint,
+        footprint_ciip=CIIP.from_addresses(config, footprint),
+        dataflow=dataflow,
+        useful=useful,
+    )
+    if store is not None and f_key is not None:
+        store.put(f_key, flow, kind="flow")
+    return flow
+
+
+def _restamp_flow(flow: "FlowBundle", config: CacheConfig) -> "FlowBundle":
+    """Re-stamp a cached flow bundle with the caller's full config.
+
+    Flow entries are keyed by geometry only, so a hit may carry a config
+    differing in cost fields (or write-allocation mode).  None of the
+    bundle's *data* reads those fields, but the embedded config objects
+    must compare equal across every task of an analysis (the CRPD kernels
+    insist on one shared configuration), so wrap the shared immutable
+    innards in fresh carriers stamped with the requested config.
+    """
+    from repro.analysis.store import FlowBundle
+
+    if flow.aggregate.config == config:
+        return flow
+    return FlowBundle(
+        aggregate=NodeTraceAggregate(
+            config=config, node_refs=flow.aggregate.node_refs
+        ),
+        footprint=flow.footprint,
+        footprint_ciip=CIIP(config=config, groups=flow.footprint_ciip.groups),
+        dataflow=replace(flow.dataflow, config=config),
+        useful=UsefulBlocksAnalysis(config=config, points=flow.useful.points),
+    )
+
+
+def _paths_stage(
+    program: Program,
+    path_limit: int,
+    budget: "AnalysisBudget | None",
+    ledger: "DegradationLedger | None",
+    span,
+    store: "ArtifactStore | None",
+    p_key: "str | None",
+):
+    """Path-profile sub-artifact with full degradation replay semantics."""
+    bundle = None
+    if store is not None and p_key is not None:
+        bundle = store.get(p_key, kind="paths")
+    if bundle is not None:
+        if not bundle.complete and (budget is None or budget.strict):
+            # A cold run under this caller's (absent or strict) budget
+            # would have raised out of enumeration; reproduce that from
+            # the stored degradation record.
+            reason = (
+                bundle.events[0].reason
+                if bundle.events
+                else "path enumeration exceeded the stored limit"
+            )
+            raise PathExplosionError(reason, stage=f"paths:{program.name}")
+        for event in bundle.events:
             if ledger is not None:
                 ledger.events.append(event)
             span.event(
@@ -231,27 +476,64 @@ def analyze_task(
                 stage=event.stage,
                 budget=event.budget,
                 fallback=event.fallback,
+                replayed=True,
             )
-        artifacts = TaskArtifacts(
-            name=program.name,
-            layout=layout,
-            config=config,
-            wcet=wcet,
-            aggregate=aggregate,
-            footprint=footprint,
-            footprint_ciip=CIIP.from_addresses(config, footprint),
-            dataflow=dataflow,
-            useful=useful,
-            path_profiles=path_profiles,
-            path_enumeration_complete=path_complete,
-        )
-        span.set(
-            wcet_cycles=wcet.cycles,
-            feasible_paths=len(path_profiles),
-            path_enumeration_complete=path_complete,
-        )
-        if key is not None and store is not None:
-            from repro.analysis.store import CachedAnalysis
+        return bundle.profiles, bundle.complete, list(bundle.events)
+    path_profiles: list[PathProfile] = []
+    path_complete = True
+    local_events = []
+    try:
+        path_profiles = enumerate_path_profiles(program, limit=path_limit)
+    except PathExplosionError as error:
+        if budget is None or budget.strict:
+            raise
+        path_complete = False
+        from repro.guard.ledger import DegradationEvent
 
-            store.put(key, CachedAnalysis(artifacts, tuple(local_events)))
+        event = DegradationEvent(
+            stage=f"paths:{program.name}",
+            budget="max_paths",
+            reason=str(error),
+            fallback="path-incomplete artifacts (Eq. 4 -> MUMBS∩CIIP)",
+        )
+        local_events.append(event)
+        if ledger is not None:
+            ledger.events.append(event)
+        span.event(
+            "ledger.degradation",
+            stage=event.stage,
+            budget=event.budget,
+            fallback=event.fallback,
+        )
+    if store is not None and p_key is not None:
+        from repro.analysis.store import PathsBundle
+
+        store.put(
+            p_key,
+            PathsBundle(
+                profiles=path_profiles,
+                complete=path_complete,
+                events=tuple(local_events),
+            ),
+            kind="paths",
+        )
+    return path_profiles, path_complete, local_events
+
+
+def shippable_artifacts(artifacts: TaskArtifacts) -> TaskArtifacts:
+    """A pickling-friendly copy of *artifacts* for cross-process shipping.
+
+    Raw ``TraceRecorder`` lists (one object per memory reference) dominate
+    the pickle cost of freshly computed artifacts; replace them with the
+    columnar :class:`~repro.vm.trace.LazyTraces` view before handing
+    artifacts to a pool.  Artifacts assembled from cache already carry a
+    lazy view and pass through unchanged.  Consumers see an identical
+    mapping either way.
+    """
+    from repro.analysis.store import StoreBackedTraces
+
+    traces = artifacts.wcet.traces
+    if isinstance(traces, (LazyTraces, StoreBackedTraces)):
         return artifacts
+    wcet = replace(artifacts.wcet, traces=LazyTraces(compact_traces(traces)))
+    return replace(artifacts, wcet=wcet)

@@ -35,6 +35,8 @@ from repro.errors import BudgetExceeded, ConfigError
 from repro.obs import STATE as _OBS
 
 if TYPE_CHECKING:
+    from repro.analysis.store import ArtifactStore
+    from repro.batch.pool import WarmPool
     from repro.guard.budget import AnalysisBudget, BudgetClock
     from repro.guard.ledger import DegradationLedger
 
@@ -107,6 +109,14 @@ class CRPDAnalyzer:
             a fresh ledger is created when omitted.
         clock: optional shared wall-clock countdown; created from
             *budget* on first use when omitted.
+        store: optional :class:`~repro.analysis.store.ArtifactStore`.
+            When given, :meth:`estimate_pair` caches each pair's four
+            reload-line counts as a ``pair`` sub-artifact keyed by both
+            tasks' flow/paths content keys (never by cost parameters), so
+            penalty sweeps and repeat batch points skip the Eq. 4 path
+            search entirely.  Wall-clock-degraded values are never
+            stored — only deterministic results and their (replayable)
+            ``max_paths`` degradations.
         path_engine: how Approach 4 evaluates Equation 4's path
             maximisation.
 
@@ -130,6 +140,7 @@ class CRPDAnalyzer:
         ledger: "DegradationLedger | None" = None,
         clock: "BudgetClock | None" = None,
         path_engine: str = "auto",
+        store: "ArtifactStore | None" = None,
     ):
         if not tasks:
             raise ConfigError("no tasks given")
@@ -151,6 +162,7 @@ class CRPDAnalyzer:
         if clock is None and budget is not None:
             clock = budget.start()
         self.clock = clock
+        self.store = store
         self._lines_cache: dict[tuple[str, str, Approach], int] = {}
         #: Wall-clock seconds spent computing estimates, per approach
         #: (cached lookups add nothing).  Surfaced by tables and reports.
@@ -304,9 +316,72 @@ class CRPDAnalyzer:
             cost += dirty_bound * writeback
         return cost
 
+    def _pair_store_key(self, preempted: str, preempting: str) -> str | None:
+        """The pair sub-artifact key, or ``None`` when uncacheable."""
+        if self.store is None or not self.store.enabled:
+            return None
+        low = self._artifacts(preempted)
+        high = self._artifacts(preempting)
+        if not low.subkeys or not high.subkeys:
+            return None  # analysed without a store: no content identity
+        from repro.analysis.store import pair_key
+
+        strict = self.budget is not None and self.budget.strict
+        return pair_key(
+            low.subkeys["flow"],
+            low.subkeys["paths"],
+            high.subkeys["flow"],
+            high.subkeys["paths"],
+            self.mumbs_mode,
+            self.path_engine,
+            strict,
+        )
+
     def estimate_pair(self, preempted: str, preempting: str) -> PreemptionEstimate:
-        """All four approaches for one preemption pair (a Table II row)."""
-        return PreemptionEstimate(
+        """All four approaches for one preemption pair (a Table II row).
+
+        With a store, the result is cached as a ``pair`` sub-artifact
+        keyed by both tasks' flow/paths content keys — cost parameters
+        never participate, so a penalty sweep reuses every pair.  A hit
+        replays the stored degradation events into the ledger; values
+        produced under a wall-clock degradation (timing-dependent, hence
+        unreproducible) are never stored.
+        """
+        key = self._pair_store_key(preempted, preempting)
+        if key is not None:
+            bundle = self.store.get(key, kind="pair")
+            if bundle is not None:
+                lines = {
+                    Approach(approach): count
+                    for approach, count in bundle.lines.items()
+                }
+                for approach, count in lines.items():
+                    self._lines_cache.setdefault(
+                        (preempted, preempting, approach), count
+                    )
+                for event in bundle.events:
+                    self.ledger.events.append(event)
+                    if _OBS.enabled:
+                        _OBS.tracer.event(
+                            "ledger.degradation",
+                            stage=event.stage,
+                            budget=event.budget,
+                            fallback=event.fallback,
+                            replayed=True,
+                        )
+                return PreemptionEstimate(
+                    preempted=preempted, preempting=preempting, lines=lines
+                )
+        # Only a fully fresh computation may be stored: if some approach
+        # was already answered through lines_reloaded, its degradation
+        # events (if any) predate this window and the stored bundle would
+        # replay incompletely.
+        fresh = key is not None and all(
+            (preempted, preempting, approach) not in self._lines_cache
+            for approach in ALL_APPROACHES
+        )
+        events_before = len(self.ledger.events)
+        estimate = PreemptionEstimate(
             preempted=preempted,
             preempting=preempting,
             lines={
@@ -314,46 +389,70 @@ class CRPDAnalyzer:
                 for approach in ALL_APPROACHES
             },
         )
+        if fresh:
+            events = tuple(self.ledger.events[events_before:])
+            if not any(e.budget == "wall_clock_seconds" for e in events):
+                from repro.analysis.store import PairLines
+
+                self.store.put(
+                    key,
+                    PairLines(
+                        lines={
+                            approach.value: count
+                            for approach, count in estimate.lines.items()
+                        },
+                        events=events,
+                    ),
+                    kind="pair",
+                )
+        return estimate
 
     def estimate_all_pairs(
-        self, priority_order: list[str], jobs: int = 1
+        self,
+        priority_order: list[str],
+        jobs: int = 1,
+        pool: "WarmPool | None" = None,
     ) -> list[PreemptionEstimate]:
         """Every feasible preemption pair of a priority-ordered task list.
 
         ``priority_order`` lists task names from highest to lowest priority;
         each task can be preempted by every earlier (higher-priority) task.
 
-        ``jobs > 1`` shards the pairs across worker processes.  The merge
-        is deterministic: estimates, line-cache entries, ledger events and
-        timing accumulate in pair-submission order, so the result — and
-        every later ``cpre``/``lines_reloaded`` lookup — is identical to a
-        sequential run.  Each worker re-arms the analysis budget locally
-        (its own wall clock, strictness and ledger); worker degradations
-        and :class:`BudgetExceeded` failures propagate back to the caller.
+        ``jobs > 1`` shards the pairs across the workers of a
+        :class:`~repro.batch.pool.WarmPool`; pass *pool* to reuse an
+        already-warm one (a sweep seeds the task artifacts once and every
+        later call ships only pair names).  The merge is deterministic:
+        estimates, line-cache entries, ledger events and timing accumulate
+        in pair-submission order, so the result — and every later
+        ``cpre``/``lines_reloaded`` lookup — is identical to a sequential
+        run.  Each worker re-arms the analysis budget locally (its own
+        wall clock, strictness and ledger); worker degradations and
+        :class:`BudgetExceeded` failures propagate back to the caller,
+        while a *broken pool* degrades to an identical serial computation
+        (see :mod:`repro.batch.pool`).
         """
         pairs: list[tuple[str, str]] = []
         for low_index, preempted in enumerate(priority_order):
             for preempting in priority_order[:low_index]:
                 pairs.append((preempted, preempting))
-        if jobs <= 1 or len(pairs) <= 1:
+        if pool is None and (jobs <= 1 or len(pairs) <= 1):
             return [self.estimate_pair(*pair) for pair in pairs]
-        from concurrent.futures import ProcessPoolExecutor
+        from repro.batch.pool import WarmPool
 
+        own_pool: "WarmPool | None" = None
+        if pool is None:
+            own_pool = pool = WarmPool(jobs)
         estimates: list[PreemptionEstimate] = []
-        with _OBS.tracer.span(
-            "crpd.estimate_all_pairs", jobs=jobs, pairs=len(pairs)
-        ) as fan_span:
-            with ProcessPoolExecutor(
-                max_workers=min(jobs, len(pairs)),
-                initializer=_init_pair_worker,
-                initargs=(self.tasks, self.mumbs_mode, self.budget,
-                          self.path_engine, _OBS.enabled),
-            ) as pool:
-                # pool.map yields in submission order, so spans are adopted
-                # and metrics merged deterministically regardless of which
+        try:
+            with _OBS.tracer.span(
+                "crpd.estimate_all_pairs", jobs=pool.jobs, pairs=len(pairs)
+            ) as fan_span:
+                token = pool.seed(self._pool_context())
+                # Warm pools preserve item order, so spans are adopted and
+                # metrics merged deterministically regardless of which
                 # worker finished first.
                 for estimate, events, seconds, records, snapshot in pool.map(
-                    _estimate_pair_worker, pairs
+                    _pair_task, pairs, context=token
                 ):
                     estimates.append(estimate)
                     for approach, lines in estimate.lines.items():
@@ -371,44 +470,71 @@ class CRPDAnalyzer:
                             )
                         if snapshot is not None:
                             _OBS.metrics.merge(snapshot)
+        finally:
+            if own_pool is not None:
+                own_pool.close()
         return estimates
 
+    def _pool_context(self) -> tuple:
+        """The shared state a pair worker needs, shipped once per pool."""
+        from repro.analysis.artifacts import shippable_artifacts
 
-# ----------------------------------------------------------------------
-# Process-pool workers for the parallel pair fan-out.  Module level so
-# they pickle under both the fork and spawn start methods; each worker
-# process builds one analyzer (with its own budget clock and ledger) in
-# the pool initializer and reuses it for every pair it is handed.
-# ----------------------------------------------------------------------
-_PAIR_WORKER_ANALYZER: "CRPDAnalyzer | None" = None
-_PAIR_WORKER_OBS = False
-
-
-def _init_pair_worker(
-    tasks: dict[str, TaskArtifacts],
-    mumbs_mode: str,
-    budget: "AnalysisBudget | None",
-    path_engine: str,
-    obs_enabled: bool = False,
-) -> None:
-    global _PAIR_WORKER_ANALYZER, _PAIR_WORKER_OBS
-    _PAIR_WORKER_ANALYZER = CRPDAnalyzer(
-        tasks, mumbs_mode=mumbs_mode, budget=budget, path_engine=path_engine
-    )
-    _PAIR_WORKER_OBS = obs_enabled
+        store_directory = (
+            self.store.directory
+            if self.store is not None and self.store.enabled
+            else None
+        )
+        return (
+            "crpd.pairs",
+            {
+                name: shippable_artifacts(artifacts)
+                for name, artifacts in self.tasks.items()
+            },
+            self.mumbs_mode,
+            self.budget,
+            self.path_engine,
+            store_directory,
+            _OBS.enabled,
+        )
 
 
-def _estimate_pair_worker(pair: tuple[str, str]):
-    analyzer = _PAIR_WORKER_ANALYZER
-    assert analyzer is not None, "worker initializer did not run"
+def _pair_task(context: tuple, pair: tuple[str, str]):
+    """Estimate one pair against a shipped analyzer context.
+
+    Runs in a :class:`~repro.batch.pool.WarmPool` worker — or in-process
+    on the serial fallback path, against the very same context object.
+    The analyzer is derived from the context once per worker and reused
+    for every pair it is handed (its artifacts' memoised CIIPs and path
+    footprints stay warm across pairs, which is the point).
+    """
+    from repro.batch.pool import derived, in_worker
+
+    _, tasks, mumbs_mode, budget, path_engine, store_directory, obs = context
+
+    def make_analyzer() -> "CRPDAnalyzer":
+        store = None
+        if store_directory is not None:
+            from repro.analysis.store import ArtifactStore
+
+            store = ArtifactStore(directory=store_directory)
+        return CRPDAnalyzer(
+            tasks,
+            mumbs_mode=mumbs_mode,
+            budget=budget,
+            path_engine=path_engine,
+            store=store,
+        )
+
+    analyzer = derived(context, "crpd.analyzer", make_analyzer)
     events_before = len(analyzer.ledger.events)
     seconds_before = dict(analyzer.analysis_seconds)
     records: tuple = ()
     snapshot = None
-    if _PAIR_WORKER_OBS:
+    if obs and in_worker():
         # Fresh per-pair observability: the parent adopts the returned
         # spans (re-parented under its fan-out span) and merges the
-        # metrics snapshot, in pair-submission order.
+        # metrics snapshot, in pair-submission order.  On the serial
+        # path the caller's tracer is live and records directly.
         from repro.obs import install, uninstall
 
         tracer, metrics = install()

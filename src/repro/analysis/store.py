@@ -1,38 +1,60 @@
-"""Content-addressed cache of :class:`~repro.analysis.artifacts.TaskArtifacts`.
+"""Content-addressed cache of analysis results, decomposed by stage.
 
-Analysing a task — simulating every scenario, solving the RMB/LMB dataflow,
-enumerating paths — is the dominant cost of every experiment run, yet its
-result depends only on (program, layout, scenarios, cache config, analysis
-limits).  This module keys the finished artifacts by a SHA-256 over a
-canonical description of exactly those inputs, so repeated CLI, experiment
-and benchmark runs skip re-analysis entirely.
+Analysing a task — simulating every scenario, solving the RMB/LMB
+dataflow, enumerating paths — is the dominant cost of every experiment
+run.  Schema 1 of this store cached the *finished* ``TaskArtifacts``
+bundle under one monolithic key, so changing any input (a different miss
+penalty, a different set count) recomputed everything from scratch even
+though most stages never read the changed input.
 
-Invalidation rules (what participates in the key):
+Schema 2 decomposes the result into **sub-artifacts**, each keyed only by
+the inputs its stage actually reads:
 
-* the program: CFG blocks in layout order, instruction and terminator
-  reprs, the structure tree, and the data-array declarations;
-* the concrete layout: code/data base addresses and alignment;
-* every input scenario (name -> array -> values), sorted for determinism;
-* the :class:`~repro.cache.config.CacheConfig` (all geometry/policy/cost
-  fields via its dataclass repr);
-* the analysis limits that shape the result: simulation step cap, path
-  enumeration limit and strictness;
-* ``SCHEMA_VERSION`` (bump when the artifact layout changes) and a
-  fingerprint of the installed ``repro`` *source code*, so editing any
-  module of this package automatically invalidates prior entries — a
-  stale-cache bug can never survive a code change.
+========  =============================================================
+kind      key inputs (besides the program/layout/scenario identity)
+========  =============================================================
+trace     ``max_steps`` only — the VM's control flow is data-dependent,
+          so the memory-reference stream and the cache-cost-free base
+          cycles are invariant across *every* cache configuration
+sim       trace key + ``num_sets, ways, line_size, policy, write_back``
+          — per-scenario access/miss/writeback counts; cycle counts
+          reassemble from these in O(1) for any cost parameters
+flow      trace key + ``num_sets, ways, line_size, policy`` — the
+          per-node aggregate, footprint CIIP, RMB/LMB solution and
+          useful-block analysis (cost fields are re-stamped on reuse)
+paths     program structure + ``path_limit, strict`` — feasible path
+          profiles, fully cache-independent
+pair      both tasks' flow/paths keys + CRPD mode — the four per-pair
+          reload-line counts
+task      composite of everything (in-memory assembly memo only)
+========  =============================================================
 
-Degradation events recorded while the artifacts were first computed are
-stored alongside them and replayed into the caller's ledger on every hit,
+A miss-penalty sweep therefore recomputes *nothing* but the pair/task
+assembly, and a geometry sweep re-runs only the set-index-dependent
+kernels (sim replay + flow) against the cached trace.
+
+Every key additionally covers ``SCHEMA_VERSION`` and a fingerprint of the
+installed ``repro`` source code, so editing any module of this package
+automatically invalidates prior entries — a stale-cache bug can never
+survive a code change.  On disk each entry is wrapped in a
+:class:`StoredEntry` envelope carrying its schema and kind; an entry that
+unpickles to anything else (e.g. a schema-1 ``CachedAnalysis`` written by
+an older version, or a foreign pickle) is a *stale* counted miss
+(``ArtifactStore.stale`` / ``store.stale`` metric): the file is deleted
+so the slot heals on the next put, never an error.  Unreadable bytes are
+likewise a counted miss (``ArtifactStore.corrupt`` / ``store.corrupt``).
+
+Degradation events recorded while a sub-artifact was first computed are
+stored alongside it and replayed into the caller's ledger on every hit,
 so a cached run reports the identical soundness status as a cold one.
 
-The store is two-level: a per-process LRU of deserialised bundles and an
+The store is two-level: a per-process LRU of deserialised payloads and an
 on-disk pickle directory (default ``~/.cache/repro``, override with
 ``REPRO_CACHE_DIR``, disable with ``REPRO_NO_CACHE=1`` or ``--no-cache``).
-Disk writes are atomic (temp file + ``os.replace``) and unreadable or
-corrupt entries are treated as misses, never as errors: the offending
-file is deleted so the next ``put`` rewrites the slot, and the event is
-counted (``ArtifactStore.corrupt`` / ``store.corrupt`` metric).
+Disk writes are atomic (temp file + ``os.replace``).  Statistics are kept
+per instance, overall and per kind, and the honesty invariant
+``gets == hits + misses`` is preserved: every lookup — including the
+memory-only ``task`` assembly memo — is counted exactly once.
 """
 
 from __future__ import annotations
@@ -44,27 +66,48 @@ import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, Iterator, Mapping, Optional
 
 from repro.analysis.wcet import Scenarios
 from repro.cache.config import CacheConfig
+from repro.errors import ReproError
 from repro.obs import STATE as _OBS
 from repro.program.layout import ProgramLayout
+from repro.vm.trace import CompactTrace, TraceRecorder
 
 if TYPE_CHECKING:
     from repro.analysis.artifacts import TaskArtifacts
+    from repro.analysis.rmb_lmb import RMBLMBResult
+    from repro.analysis.useful import UsefulBlocksAnalysis
+    from repro.cache.ciip import CIIP
     from repro.guard.ledger import DegradationEvent
+    from repro.program.paths import PathProfile
+    from repro.vm.trace import NodeTraceAggregate
 
 __all__ = [
     "ArtifactStore",
     "CachedAnalysis",
+    "FlowBundle",
+    "PairLines",
+    "PathsBundle",
     "SCHEMA_VERSION",
+    "SimBundle",
+    "StoreBackedTraces",
+    "StoredEntry",
+    "TraceBundle",
     "artifact_key",
     "default_store",
+    "flow_key",
+    "pair_key",
+    "paths_key",
+    "sim_key",
+    "trace_key",
 ]
 
-#: Bump whenever the pickled artifact layout changes incompatibly.
-SCHEMA_VERSION = 1
+#: Bump whenever the pickled entry layout changes incompatibly.
+#: Schema 1 stored monolithic ``CachedAnalysis`` bundles; schema 2 stores
+#: :class:`StoredEntry`-wrapped sub-artifacts.
+SCHEMA_VERSION = 2
 
 _SOURCE_FINGERPRINT: Optional[str] = None
 
@@ -86,25 +129,28 @@ def _source_fingerprint() -> str:
     return _SOURCE_FINGERPRINT
 
 
-def artifact_key(
-    layout: ProgramLayout,
-    scenarios: Scenarios,
-    config: CacheConfig,
-    max_steps: int,
-    path_limit: int,
-    strict: bool,
-) -> str:
-    """Content hash identifying one ``analyze_task`` invocation's result."""
+class _Digest:
+    """Tiny helper around the ``feed`` pattern every key builder uses."""
+
+    def __init__(self, kind: str):
+        self._digest = hashlib.sha256()
+        self.feed(f"kind={kind}")
+        self.feed(f"schema={SCHEMA_VERSION}")
+        self.feed(f"source={_source_fingerprint()}")
+
+    def feed(self, text: str) -> None:
+        self._digest.update(text.encode())
+        self._digest.update(b"\x00")
+
+    def hexdigest(self) -> str:
+        return self._digest.hexdigest()
+
+
+def _feed_program(digest: _Digest, layout: ProgramLayout) -> None:
+    """Program + placement identity: blocks, structure, arrays, bases."""
     program = layout.program
     cfg = program.cfg
-    digest = hashlib.sha256()
-
-    def feed(text: str) -> None:
-        digest.update(text.encode())
-        digest.update(b"\x00")
-
-    feed(f"schema={SCHEMA_VERSION}")
-    feed(f"source={_source_fingerprint()}")
+    feed = digest.feed
     feed(f"program={program.name}")
     feed(f"entry={cfg.entry}")
     for label in cfg.labels():
@@ -117,35 +163,259 @@ def artifact_key(
     for name in sorted(program.arrays):
         decl = program.arrays[name]
         feed(f"array={decl.name}:{decl.words}:{decl.element_size}")
-    feed(
-        f"layout={layout.code_base}:{layout.data_base}:{layout.data_alignment}"
-    )
-    feed(f"config={config!r}")
+    feed(f"layout={layout.code_base}:{layout.data_base}:{layout.data_alignment}")
+
+
+def _feed_scenarios(digest: _Digest, scenarios: Scenarios) -> None:
     for scenario_name in sorted(scenarios):
-        feed(f"scenario={scenario_name}")
+        digest.feed(f"scenario={scenario_name}")
         inputs = scenarios[scenario_name]
         for array_name in sorted(inputs):
-            feed(f"input={array_name}:{tuple(inputs[array_name])!r}")
-    feed(f"max_steps={max_steps}")
-    feed(f"path_limit={path_limit}")
-    feed(f"strict={strict}")
+            digest.feed(f"input={array_name}:{tuple(inputs[array_name])!r}")
+
+
+def trace_key(layout: ProgramLayout, scenarios: Scenarios, max_steps: int) -> str:
+    """Key of the cache-configuration-independent reference streams."""
+    digest = _Digest("trace")
+    _feed_program(digest, layout)
+    _feed_scenarios(digest, scenarios)
+    digest.feed(f"max_steps={max_steps}")
     return digest.hexdigest()
+
+
+def sim_key(trace: str, config: CacheConfig) -> str:
+    """Key of the per-scenario hit/miss/writeback counts.
+
+    Only the fields that shape *which* accesses hit participate — cost
+    parameters (``miss_penalty``, ``hit_cycles``, ``writeback_penalty``)
+    deliberately do not, so penalty sweeps share one entry.
+    """
+    digest = _Digest("sim")
+    digest.feed(f"trace={trace}")
+    digest.feed(
+        f"geometry={config.num_sets}:{config.ways}:{config.line_size}"
+        f":{config.policy}:{config.write_back}"
+    )
+    return digest.hexdigest()
+
+
+def flow_key(trace: str, config: CacheConfig) -> str:
+    """Key of the per-node aggregate / CIIP / RMB-LMB / useful analyses.
+
+    These read only the block mapping (``line_size``), set indexing
+    (``num_sets``), associativity and replacement policy; neither cost
+    parameters nor write-allocation behaviour change them.
+    """
+    digest = _Digest("flow")
+    digest.feed(f"trace={trace}")
+    digest.feed(
+        f"geometry={config.num_sets}:{config.ways}:{config.line_size}"
+        f":{config.policy}"
+    )
+    return digest.hexdigest()
+
+
+def paths_key(layout: ProgramLayout, path_limit: int, strict: bool) -> str:
+    """Key of the feasible-path profiles (cache-independent entirely)."""
+    digest = _Digest("paths")
+    _feed_program(digest, layout)
+    digest.feed(f"path_limit={path_limit}")
+    digest.feed(f"strict={strict}")
+    return digest.hexdigest()
+
+
+def pair_key(
+    low_flow: str,
+    low_paths: str,
+    high_flow: str,
+    high_paths: str,
+    mumbs_mode: str,
+    path_engine: str,
+    strict: bool,
+) -> str:
+    """Key of one (preempted, preempting) pair's four reload-line counts.
+
+    Built from the tasks' flow/paths keys rather than their full artifact
+    keys so the counts — which never read cost parameters — survive
+    penalty sweeps.
+    """
+    digest = _Digest("pair")
+    digest.feed(f"low_flow={low_flow}")
+    digest.feed(f"low_paths={low_paths}")
+    digest.feed(f"high_flow={high_flow}")
+    digest.feed(f"high_paths={high_paths}")
+    digest.feed(f"mumbs_mode={mumbs_mode}")
+    digest.feed(f"path_engine={path_engine}")
+    digest.feed(f"strict={strict}")
+    return digest.hexdigest()
+
+
+def artifact_key(
+    layout: ProgramLayout,
+    scenarios: Scenarios,
+    config: CacheConfig,
+    max_steps: int,
+    path_limit: int,
+    strict: bool,
+) -> str:
+    """Composite hash identifying one ``analyze_task`` invocation's result.
+
+    Covers every analysis input (including cost parameters); used for the
+    in-process assembly memo, not for disk sub-artifacts.
+    """
+    digest = _Digest("task")
+    _feed_program(digest, layout)
+    digest.feed(f"config={config!r}")
+    _feed_scenarios(digest, scenarios)
+    digest.feed(f"max_steps={max_steps}")
+    digest.feed(f"path_limit={path_limit}")
+    digest.feed(f"strict={strict}")
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Stored payloads, one dataclass per sub-artifact kind.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class StoredEntry:
+    """On-disk envelope: schema + kind + the stage's payload.
+
+    ``get`` validates the envelope before trusting the payload, so a
+    schema bump or a kind collision degrades to a counted *stale* miss
+    instead of handing a caller a payload of the wrong shape.
+    """
+
+    schema: int
+    kind: str
+    payload: Any
+
+
+@dataclass
+class TraceBundle:
+    """kind="trace": columnar reference streams + invariant base cycles.
+
+    ``scenario_names`` preserves the caller's scenario order so replayed
+    worst-scenario selection tie-breaks identically to a cold run.
+    """
+
+    scenario_names: tuple[str, ...]
+    traces: dict[str, CompactTrace]
+    base_cycles: dict[str, int]
+
+
+@dataclass
+class SimBundle:
+    """kind="sim": per-scenario ``(accesses, misses, writebacks)``."""
+
+    counts: dict[str, tuple[int, int, int]]
+
+
+@dataclass
+class FlowBundle:
+    """kind="flow": every geometry-dependent, cost-independent analysis."""
+
+    aggregate: "NodeTraceAggregate"
+    footprint: frozenset[int]
+    footprint_ciip: "CIIP"
+    dataflow: "RMBLMBResult"
+    useful: "UsefulBlocksAnalysis"
+
+
+@dataclass
+class PathsBundle:
+    """kind="paths": feasible paths + the degradations enumerating them."""
+
+    profiles: list["PathProfile"]
+    complete: bool
+    events: tuple["DegradationEvent", ...] = ()
+
+
+@dataclass
+class PairLines:
+    """kind="pair": Approach value -> reload lines, plus degradations."""
+
+    lines: dict[int, int]
+    events: tuple["DegradationEvent", ...] = ()
 
 
 @dataclass
 class CachedAnalysis:
-    """One store entry: the artifacts plus the degradations they came with."""
+    """Schema 1's monolithic entry format.
+
+    Retained so that pre-migration pickles still *unpickle* — which is
+    exactly what lets :meth:`ArtifactStore.get` recognise them as stale
+    (counted, deleted, recomputed) rather than crashing on them.  Also
+    reused as the in-memory payload of the ``task`` assembly memo.
+    """
 
     artifacts: "TaskArtifacts"
     events: tuple["DegradationEvent", ...] = ()
 
 
+class StoreBackedTraces(Mapping):
+    """``scenario -> TraceRecorder`` resolved from a trace sub-artifact.
+
+    Warm analyses never need raw traces (sim counts and flow bundles
+    already encode everything the pipeline reads), so instead of loading
+    the — by far largest — trace entry eagerly, artifacts assembled from
+    cache carry this view, which fetches and decodes the columnar traces
+    only if a consumer (reports, examples) actually iterates them.
+    Pickles as ``(directory, key, names)``: workers on the same machine
+    re-resolve against the same store directory.
+    """
+
+    def __init__(self, directory: Path, key: str, scenario_names: tuple[str, ...]):
+        self._directory = Path(directory)
+        self._key = key
+        self._names = tuple(scenario_names)
+        self._expanded: dict[str, TraceRecorder] = {}
+        self._bundle: Optional[TraceBundle] = None
+
+    def _load(self) -> TraceBundle:
+        if self._bundle is None:
+            store = ArtifactStore(directory=self._directory)
+            bundle = store.get(self._key, kind="trace")
+            if bundle is None:
+                raise ReproError(
+                    f"trace sub-artifact {self._key[:12]}... vanished from "
+                    f"{self._directory}; re-run the analysis without a "
+                    "store or with an intact cache directory"
+                )
+            self._bundle = bundle
+        return self._bundle
+
+    def __getitem__(self, name: str) -> TraceRecorder:
+        if name not in self._names:
+            raise KeyError(name)
+        recorder = self._expanded.get(name)
+        if recorder is None:
+            recorder = self._load().traces[name].expand()
+            self._expanded[name] = recorder
+        return recorder
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __getstate__(self):
+        return (self._directory, self._key, self._names)
+
+    def __setstate__(self, state):
+        self._directory, self._key, self._names = state
+        self._expanded = {}
+        self._bundle = None
+
+
 @dataclass
 class ArtifactStore:
-    """Two-level (memory LRU + disk) cache of analysis artifacts.
+    """Two-level (memory LRU + disk) cache of analysis sub-artifacts.
 
-    Statistics are kept per instance so benchmarks and tests can assert
-    hit/miss behaviour precisely.
+    Statistics are kept per instance — overall and per kind — so
+    benchmarks and tests can assert hit/miss behaviour precisely.
     """
 
     directory: Optional[Path] = None
@@ -155,11 +425,12 @@ class ArtifactStore:
     misses: int = 0
     evictions: int = 0
     corrupt: int = 0
+    stale: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
-    _memory: "OrderedDict[str, CachedAnalysis]" = field(
-        default_factory=OrderedDict, repr=False
-    )
+    hits_by_kind: dict = field(default_factory=dict, repr=False)
+    misses_by_kind: dict = field(default_factory=dict, repr=False)
+    _memory: "OrderedDict[str, Any]" = field(default_factory=OrderedDict, repr=False)
 
     @property
     def gets(self) -> int:
@@ -172,86 +443,114 @@ class ArtifactStore:
             return None
         return Path(self.directory) / f"{key}.pkl"
 
-    def get(self, key: str) -> Optional[CachedAnalysis]:
-        """Look *key* up, memory first, then disk; ``None`` on miss."""
+    def get(self, key: str, kind: str = "task", memory_only: bool = False):
+        """Look *key* up, memory first, then disk; ``None`` on miss.
+
+        *kind* must match the kind the entry was stored under (validated
+        against the disk envelope).  ``memory_only`` entries (the ``task``
+        assembly memo) never touch the disk tier.
+        """
         if not self.enabled:
             return None
         if _OBS.enabled:
             _OBS.metrics.counter("store.gets").inc()
-        entry = self._memory.get(key)
-        if entry is not None:
+        payload = self._memory.get(key)
+        if payload is not None:
             self._memory.move_to_end(key)
-            return self._hit(entry, tier="memory")
-        path = self._path_for(key)
+            return self._hit(payload, kind, tier="memory")
+        path = None if memory_only else self._path_for(key)
         if path is not None and path.exists():
-            payload = None
+            raw = None
             try:
-                payload = path.read_bytes()
-                entry = pickle.loads(payload)
+                raw = path.read_bytes()
+                entry = pickle.loads(raw)
             except Exception:
-                entry = None  # corrupt/unreadable entry: treat as a miss
-            if isinstance(entry, CachedAnalysis):
-                self._remember(key, entry)
-                self.bytes_read += len(payload)
+                entry = None  # unreadable bytes: corrupt, treat as a miss
+            if (
+                isinstance(entry, StoredEntry)
+                and entry.schema == SCHEMA_VERSION
+                and entry.kind == kind
+            ):
+                self._remember(key, entry.payload)
+                self.bytes_read += len(raw)
                 if _OBS.enabled:
-                    _OBS.metrics.counter("store.bytes_read").inc(len(payload))
-                return self._hit(entry, tier="disk")
-            # The file exists but did not yield a CachedAnalysis (truncated
-            # write, bit rot, foreign pickle).  Delete it so the slot is
-            # rewritten on the next put instead of failing every lookup.
-            self.corrupt += 1
-            if _OBS.enabled:
-                _OBS.metrics.counter("store.corrupt").inc()
-                _OBS.tracer.event("store.corrupt", key=key)
+                    _OBS.metrics.counter("store.bytes_read").inc(len(raw))
+                return self._hit(entry.payload, kind, tier="disk")
+            if entry is not None:
+                # The file unpickled but is not a current-schema entry of
+                # this kind: a schema-1 monolith, a foreign pickle, or a
+                # kind collision.  Stale, not corrupt — count it apart so
+                # migrations are visible, then delete so the slot heals.
+                self.stale += 1
+                if _OBS.enabled:
+                    _OBS.metrics.counter("store.stale").inc()
+                    _OBS.tracer.event("store.stale", key=key, kind=kind)
+            else:
+                # Truncated write, bit rot: delete so the slot is
+                # rewritten on the next put instead of failing every
+                # lookup.
+                self.corrupt += 1
+                if _OBS.enabled:
+                    _OBS.metrics.counter("store.corrupt").inc()
+                    _OBS.tracer.event("store.corrupt", key=key)
             try:
                 path.unlink()
             except OSError:
                 pass  # unreadable *and* undeletable: still just a miss
         self.misses += 1
+        self.misses_by_kind[kind] = self.misses_by_kind.get(kind, 0) + 1
         if _OBS.enabled:
             _OBS.metrics.counter("store.misses").inc()
+            _OBS.metrics.counter(f"store.misses.kind.{kind}").inc()
         return None
 
-    def _hit(self, entry: CachedAnalysis, tier: str) -> CachedAnalysis:
+    def _hit(self, payload, kind: str, tier: str):
         self.hits += 1
+        self.hits_by_kind[kind] = self.hits_by_kind.get(kind, 0) + 1
         if _OBS.enabled:
             _OBS.metrics.counter("store.hits").inc()
             _OBS.metrics.counter(f"store.hits.{tier}").inc()
-            _OBS.tracer.event("store.hit", tier=tier)
-        return entry
+            _OBS.metrics.counter(f"store.hits.kind.{kind}").inc()
+            _OBS.tracer.event("store.hit", tier=tier, kind=kind)
+        return payload
 
-    def put(self, key: str, entry: CachedAnalysis) -> None:
-        """Store *entry* in memory and (atomically) on disk."""
+    def put(
+        self, key: str, payload, kind: str = "task", memory_only: bool = False
+    ) -> None:
+        """Store *payload* in memory and (atomically) on disk."""
         if not self.enabled:
             return
         if _OBS.enabled:
             _OBS.metrics.counter("store.puts").inc()
-        self._remember(key, entry)
-        path = self._path_for(key)
+        self._remember(key, payload)
+        path = None if memory_only else self._path_for(key)
         if path is None:
             return
         try:
-            payload = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
+            raw = pickle.dumps(
+                StoredEntry(schema=SCHEMA_VERSION, kind=kind, payload=payload),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
             path.parent.mkdir(parents=True, exist_ok=True)
             handle = tempfile.NamedTemporaryFile(
                 mode="wb", dir=str(path.parent), delete=False
             )
             try:
                 with handle:
-                    handle.write(payload)
+                    handle.write(raw)
                 os.replace(handle.name, path)
             except BaseException:
                 os.unlink(handle.name)
                 raise
-            self.bytes_written += len(payload)
+            self.bytes_written += len(raw)
             if _OBS.enabled:
-                _OBS.metrics.counter("store.bytes_written").inc(len(payload))
+                _OBS.metrics.counter("store.bytes_written").inc(len(raw))
         except OSError:
             pass  # disk cache is best-effort; the result is still returned
 
-    def _remember(self, key: str, entry: CachedAnalysis) -> None:
+    def _remember(self, key: str, payload) -> None:
         memory = self._memory
-        memory[key] = entry
+        memory[key] = payload
         memory.move_to_end(key)
         while len(memory) > self.memory_slots:
             memory.popitem(last=False)

@@ -28,16 +28,64 @@ Scenarios = Mapping[str, Mapping[str, list[int]]]
 
 @dataclass
 class WCETResult:
-    """Measured WCET plus the per-scenario breakdown and traces."""
+    """Measured WCET plus the per-scenario breakdown and traces.
+
+    ``traces`` maps scenario name to its recorder; it may be a plain dict
+    (fresh measurement) or a :class:`~repro.vm.trace.LazyTraces` view that
+    decodes cached columnar traces on first access — both behave
+    identically to consumers.
+    """
 
     cycles: int
     worst_scenario: str
     per_scenario_cycles: dict[str, int]
-    traces: dict[str, TraceRecorder]
+    traces: Mapping[str, TraceRecorder]
 
     @property
     def scenario_count(self) -> int:
         return len(self.per_scenario_cycles)
+
+
+@dataclass
+class ScenarioRun:
+    """One scenario's isolated run, decomposed for sub-artifact caching.
+
+    ``base_cycles`` is the cycle count net of all cache costs.  Because
+    control flow is data-dependent only, it is invariant across cache
+    configurations; the full count reconstructs exactly as::
+
+        base + accesses*hit_cycles + misses*miss_penalty
+             + writebacks*effective_writeback_penalty
+
+    (mirroring ``CacheState.access``'s accounting), which is what lets a
+    penalty sweep re-cost a stored trace in O(1) and a geometry sweep
+    re-derive counts by replay instead of re-simulation.
+    """
+
+    cycles: int
+    base_cycles: int
+    accesses: int
+    misses: int
+    writebacks: int
+    recorder: TraceRecorder
+
+
+def cycles_from_counts(
+    config: CacheConfig, base_cycles: int, accesses: int, misses: int, writebacks: int
+) -> int:
+    """Reassemble a scenario's cycle count from its invariant parts."""
+    return (
+        base_cycles
+        + accesses * config.hit_cycles
+        + misses * config.miss_penalty
+        + writebacks * config.effective_writeback_penalty
+    )
+
+
+def worst_of(per_scenario: dict[str, int]) -> str:
+    """The worst scenario; first-in-insertion-order on ties, so cached
+    replays (which preserve scenario order) adopt the same winner."""
+    return max(per_scenario, key=per_scenario.get)
 
 
 @profiled("analyze.wcet")
@@ -60,10 +108,35 @@ def measure_wcet(
     admit timing anomalies in principle; treat WCETs measured under those
     policies as high-water marks rather than guarantees.
     """
+    runs = _run_scenarios(layout, scenarios, config, max_steps)
+    return _wcet_from_runs(runs)
+
+
+@profiled("analyze.wcet")
+def measure_wcet_detailed(
+    layout: ProgramLayout,
+    scenarios: Scenarios,
+    config: CacheConfig,
+    max_steps: int = 10_000_000,
+) -> tuple[WCETResult, dict[str, ScenarioRun]]:
+    """:func:`measure_wcet` plus each scenario's decomposed run.
+
+    The per-run cache statistics and base cycles feed the store's trace
+    and simulation sub-artifacts (see :mod:`repro.analysis.store`).
+    """
+    runs = _run_scenarios(layout, scenarios, config, max_steps)
+    return _wcet_from_runs(runs), runs
+
+
+def _run_scenarios(
+    layout: ProgramLayout,
+    scenarios: Scenarios,
+    config: CacheConfig,
+    max_steps: int,
+) -> dict[str, ScenarioRun]:
     if not scenarios:
         raise ConfigError("at least one input scenario is required")
-    per_scenario: dict[str, int] = {}
-    traces: dict[str, TraceRecorder] = {}
+    runs: dict[str, ScenarioRun] = {}
     for name, inputs in scenarios.items():
         cache = CacheState(config)
         recorder = TraceRecorder()
@@ -74,14 +147,32 @@ def measure_wcet(
             trace=recorder,
             max_steps=max_steps,
         )
-        per_scenario[name] = machine.cycles
-        traces[name] = recorder
-    worst = max(per_scenario, key=per_scenario.get)
+        stats = cache.stats
+        accesses = stats.hits + stats.misses
+        cache_cycles = (
+            accesses * config.hit_cycles
+            + stats.misses * config.miss_penalty
+            + stats.writebacks * config.effective_writeback_penalty
+        )
+        runs[name] = ScenarioRun(
+            cycles=machine.cycles,
+            base_cycles=machine.cycles - cache_cycles,
+            accesses=accesses,
+            misses=stats.misses,
+            writebacks=stats.writebacks,
+            recorder=recorder,
+        )
+    return runs
+
+
+def _wcet_from_runs(runs: dict[str, ScenarioRun]) -> WCETResult:
+    per_scenario = {name: run.cycles for name, run in runs.items()}
+    worst = worst_of(per_scenario)
     return WCETResult(
         cycles=per_scenario[worst],
         worst_scenario=worst,
         per_scenario_cycles=per_scenario,
-        traces=traces,
+        traces={name: run.recorder for name, run in runs.items()},
     )
 
 

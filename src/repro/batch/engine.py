@@ -1,0 +1,463 @@
+"""Sweep-point batch engine on top of the warm pool and artifact store.
+
+``repro sweep`` and the benches analyse grids of configurations — every
+miss penalty × every geometry × both experiments.  Doing that with a
+per-point ``build_context`` call pays worker start-up and context
+shipping per point and recomputes everything the points share.  This
+engine instead:
+
+* **dedups** the requested points (an identical point is analysed once;
+  duplicates receive the same result, including its replayed degradation
+  events — exactly what a cold run would have produced),
+* ships each experiment's layouts and scenarios to the pool **once**
+  (the :class:`~repro.batch.pool.WarmPool` seeds them by content), and
+* lets the store's sub-artifact decomposition (see
+  :mod:`repro.analysis.store`) turn the grid into mostly cache hits: a
+  penalty sweep re-costs cached counts arithmetically, a geometry sweep
+  replays cached traces instead of re-simulating, and CRPD pair counts
+  are reused wherever both tasks' flow/paths keys match.
+
+Results come back in request order regardless of worker scheduling, so a
+batch is a drop-in replacement for the equivalent per-point loop — the
+equivalence suite (``tests/test_batch_equivalence.py``) pins that down
+bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.analysis.crpd import ALL_APPROACHES, CRPDAnalyzer, PreemptionEstimate
+from repro.cache.config import CacheConfig
+from repro.errors import ConfigError
+from repro.obs import STATE as _OBS
+from repro.wcrt.response_time import compute_system_wcrt
+from repro.wcrt.task import TaskSpec, TaskSystem
+
+if TYPE_CHECKING:
+    from repro.analysis.store import ArtifactStore
+    from repro.batch.pool import WarmPool
+    from repro.guard.budget import AnalysisBudget
+    from repro.guard.ledger import DegradationEvent
+
+__all__ = [
+    "BatchResult",
+    "PointResult",
+    "SweepPoint",
+    "analyze_batch",
+    "sweep_grid",
+]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration to analyse: an experiment at one cache config.
+
+    ``cache`` overrides the default scaled 8KB geometry entirely (its
+    miss penalty then wins over *miss_penalty*), mirroring
+    :func:`~repro.experiments.setup.build_context`.
+    """
+
+    experiment: str
+    miss_penalty: int = 20
+    cache: CacheConfig | None = None
+
+    def config(self) -> CacheConfig:
+        if self.cache is not None:
+            return self.cache
+        return CacheConfig.scaled_8k(self.miss_penalty)
+
+    def label(self) -> str:
+        config = self.config()
+        return (
+            f"{self.experiment}"
+            f"/s{config.num_sets}w{config.ways}l{config.line_size}"
+            f"p{config.miss_penalty}"
+        )
+
+
+@dataclass
+class PointResult:
+    """Everything one sweep point produces, compact enough to ship.
+
+    ``wcrt`` maps approach value (1-4) to per-task response times;
+    ``schedulable`` carries the per-approach verdict.  ``events`` are the
+    degradation events this point's analysis recorded (replayed from the
+    store on warm runs, so warm and cold batches report identically).
+    """
+
+    point: SweepPoint
+    wcet: dict[str, int]
+    estimates: list[PreemptionEstimate]
+    wcrt: dict[int, dict[str, int]]
+    schedulable: dict[int, bool]
+    soundness: str
+    events: tuple["DegradationEvent", ...]
+    analysis_seconds: float
+    #: Store lookups this point answered warm/cold (0/0 without a store).
+    store_hits: int = 0
+    store_misses: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (the ``repro sweep`` output row)."""
+        return {
+            "experiment": self.point.experiment,
+            "label": self.point.label(),
+            "miss_penalty": self.point.config().miss_penalty,
+            "geometry": {
+                "num_sets": self.point.config().num_sets,
+                "ways": self.point.config().ways,
+                "line_size": self.point.config().line_size,
+            },
+            "wcet": dict(self.wcet),
+            "lines": {
+                f"{e.preempted}<-{e.preempting}": {
+                    f"approach{a.value}": e.lines[a] for a in e.lines
+                }
+                for e in self.estimates
+            },
+            "wcrt": {
+                f"approach{approach}": dict(per_task)
+                for approach, per_task in self.wcrt.items()
+            },
+            "schedulable": {
+                f"approach{approach}": verdict
+                for approach, verdict in self.schedulable.items()
+            },
+            "soundness": self.soundness,
+            "degradations": len(self.events),
+            "analysis_seconds": self.analysis_seconds,
+        }
+
+
+@dataclass
+class BatchResult:
+    """Results of one batch, aligned with the requested point order."""
+
+    results: list[PointResult]
+    unique_points: int
+    deduplicated: int
+    elapsed_seconds: float
+    pool_tasks: int = 0
+    pool_reuse: int = 0
+    pool_ship_bytes: int = 0
+    pool_fallbacks: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def summary(self) -> dict:
+        return {
+            "points": len(self.results),
+            "unique_points": self.unique_points,
+            "deduplicated": self.deduplicated,
+            "elapsed_seconds": self.elapsed_seconds,
+            "pool": {
+                "tasks": self.pool_tasks,
+                "reuse": self.pool_reuse,
+                "ship_bytes": self.pool_ship_bytes,
+                "fallbacks": self.pool_fallbacks,
+            },
+            "store": {"hits": self.store_hits, "misses": self.store_misses},
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "summary": self.summary(),
+            "points": [result.to_dict() for result in self.results],
+        }
+
+
+def sweep_grid(
+    experiments: Iterable[str] = ("exp1",),
+    penalties: Iterable[int] = (10, 20, 30, 40),
+    geometries: Iterable[tuple[int, int, int]] | None = None,
+) -> list[SweepPoint]:
+    """The cross product of experiments × penalties × geometries.
+
+    *geometries* are ``(num_sets, ways, line_size)`` triples; ``None``
+    keeps the default scaled 8KB geometry (a pure penalty sweep).
+    """
+    points = []
+    for experiment in experiments:
+        for penalty in penalties:
+            if geometries is None:
+                points.append(
+                    SweepPoint(experiment=experiment, miss_penalty=penalty)
+                )
+                continue
+            for num_sets, ways, line_size in geometries:
+                points.append(
+                    SweepPoint(
+                        experiment=experiment,
+                        miss_penalty=penalty,
+                        cache=CacheConfig(
+                            num_sets=num_sets,
+                            ways=ways,
+                            line_size=line_size,
+                            miss_penalty=penalty,
+                        ),
+                    )
+                )
+    return points
+
+
+def analyze_batch(
+    points: Sequence[SweepPoint],
+    jobs: int = 1,
+    store: "ArtifactStore | None" = None,
+    budget: "AnalysisBudget | None" = None,
+    path_engine: str = "auto",
+    pool: "WarmPool | None" = None,
+) -> BatchResult:
+    """Analyse every sweep point; results in request order.
+
+    Identical points are analysed once and share one
+    :class:`PointResult` (dedup happens before any work is scheduled).
+    ``jobs > 1`` fans unique points out across a
+    :class:`~repro.batch.pool.WarmPool` — one shipped context per
+    experiment, workers' intern tables and store handles warm across
+    points; pass *pool* to reuse a caller-managed pool.  With a *store*,
+    repeat batches are assembled almost entirely from cached
+    sub-artifacts.  A broken pool degrades to an identical serial
+    computation; analysis errors propagate unchanged.
+    """
+    from repro.batch.pool import WarmPool
+    from repro.experiments.setup import ALL_SPECS
+
+    specs = {spec.key: spec for spec in ALL_SPECS}
+    for point in points:
+        if point.experiment not in specs:
+            raise ConfigError(
+                f"unknown experiment {point.experiment!r}; "
+                f"expected one of {sorted(specs)}"
+            )
+    started = perf_counter()
+    unique: dict[SweepPoint, int] = {}
+    for point in points:
+        unique.setdefault(point, len(unique))
+    order = list(unique)
+
+    own_pool: "WarmPool | None" = None
+    if pool is None:
+        own_pool = pool = WarmPool(jobs)
+    try:
+        with _OBS.tracer.span(
+            "batch.analyze",
+            points=len(points),
+            unique=len(order),
+            jobs=pool.jobs,
+        ) as span:
+            tasks_before = pool.tasks
+            reuse_before = pool.reuse
+            ship_before = pool.ship_bytes
+            fallbacks_before = pool.fallbacks
+            unique_results: list[PointResult] = []
+            by_spec: dict[str, list[SweepPoint]] = {}
+            for point in order:
+                by_spec.setdefault(point.experiment, []).append(point)
+            results_by_point: dict[SweepPoint, PointResult] = {}
+            store_directory = (
+                store.directory if store is not None and store.enabled else None
+            )
+            # One shipped context per experiment; every point of that
+            # experiment is an item against it.  Specs iterate in the
+            # deterministic order their points first appeared.
+            for key, spec_points in by_spec.items():
+                context = _spec_context(
+                    specs[key], store_directory, budget, path_engine
+                )
+                token = pool.seed(context)
+                for result, records, snapshot in pool.map(
+                    _point_task, spec_points, context=token
+                ):
+                    results_by_point[result.point] = result
+                    unique_results.append(result)
+                    if _OBS.enabled:
+                        if records:
+                            _OBS.tracer.adopt(records, parent_id=span.span_id)
+                        if snapshot is not None:
+                            _OBS.metrics.merge(snapshot)
+            results = [results_by_point[point] for point in points]
+            deduplicated = len(points) - len(order)
+            if _OBS.enabled and deduplicated:
+                _OBS.metrics.counter("batch.points_deduplicated").inc(
+                    deduplicated
+                )
+            span.set(deduplicated=deduplicated)
+            return BatchResult(
+                results=results,
+                unique_points=len(order),
+                deduplicated=deduplicated,
+                elapsed_seconds=perf_counter() - started,
+                pool_tasks=pool.tasks - tasks_before,
+                pool_reuse=pool.reuse - reuse_before,
+                pool_ship_bytes=pool.ship_bytes - ship_before,
+                pool_fallbacks=pool.fallbacks - fallbacks_before,
+                # Per-point deltas, measured around whichever store handle
+                # actually answered (workers use their own warm handle).
+                store_hits=sum(r.store_hits for r in unique_results),
+                store_misses=sum(r.store_misses for r in unique_results),
+            )
+    finally:
+        if own_pool is not None:
+            own_pool.close()
+
+
+def _spec_context(
+    spec, store_directory, budget, path_engine
+) -> tuple:
+    """The invariant per-experiment state shipped to the pool once."""
+    from repro.program.layout import SystemLayout
+
+    workloads = {name: build() for name, build in spec.builders.items()}
+    layout = SystemLayout(stride=spec.stride)
+    for name in spec.placement_order:
+        layout.place(workloads[name].program)
+    return (
+        "batch.point",
+        spec.key,
+        {name: layout.layout_of(name) for name in spec.priority_order},
+        {name: workloads[name].scenario_map() for name in spec.priority_order},
+        store_directory,
+        budget,
+        path_engine,
+        _OBS.enabled,
+    )
+
+
+def _point_task(context: tuple, point: SweepPoint):
+    """Analyse one sweep point end to end (worker or serial fallback)."""
+    from repro.batch.pool import in_worker
+
+    (_, _, _, _, _, _, _, obs_enabled) = context
+    if obs_enabled and in_worker():
+        # Fresh per-point observability: spans ship back to the parent
+        # and are re-adopted under its batch span, in point order.
+        from repro.obs import install, uninstall
+
+        tracer, metrics = install()
+        try:
+            result = _analyze_point(context, point)
+        finally:
+            uninstall()
+        return result, tuple(tracer.records), metrics.to_dict()
+    return _analyze_point(context, point), (), None
+
+
+def _analyze_point(context: tuple, point: SweepPoint) -> PointResult:
+    from repro.analysis.artifacts import analyze_task
+    from repro.batch.pool import derived
+    from repro.experiments.setup import ALL_SPECS
+    from repro.guard.ledger import DegradationLedger
+
+    (
+        _,
+        spec_key,
+        layouts,
+        scenario_maps,
+        store_directory,
+        budget,
+        path_engine,
+        _,
+    ) = context
+    spec = {s.key: s for s in ALL_SPECS}[spec_key]
+    config = point.config()
+    store = None
+    if store_directory is not None:
+        from repro.analysis.store import ArtifactStore
+
+        # One handle per worker per context: memory LRU (trace bundles,
+        # flow bundles) stays warm across every point of the sweep.
+        store = derived(
+            context,
+            "batch.store",
+            lambda: ArtifactStore(directory=store_directory),
+        )
+    started = perf_counter()
+    hits_before = store.hits if store is not None else 0
+    misses_before = store.misses if store is not None else 0
+    ledger = DegradationLedger()
+    clock = budget.start() if budget is not None else None
+    with _OBS.tracer.span(
+        "batch.point", experiment=spec_key, label=point.label()
+    ) as span:
+        artifacts = {
+            name: analyze_task(
+                layouts[name],
+                scenario_maps[name],
+                config,
+                budget=budget,
+                ledger=ledger,
+                clock=clock,
+                store=store,
+            )
+            for name in spec.priority_order
+        }
+        analyzer = CRPDAnalyzer(
+            artifacts,
+            mumbs_mode="paper",
+            budget=budget,
+            ledger=ledger,
+            clock=clock,
+            path_engine=path_engine,
+            store=store,
+        )
+        estimates = analyzer.estimate_all_pairs(list(spec.priority_order))
+        priorities = spec.priorities()
+        system = TaskSystem(
+            tasks=[
+                TaskSpec(
+                    name=name,
+                    wcet=artifacts[name].wcet.cycles,
+                    period=spec.periods[name],
+                    priority=priorities[name],
+                )
+                for name in spec.priority_order
+            ]
+        )
+        wcrt: dict[int, dict[str, int]] = {}
+        schedulable: dict[int, bool] = {}
+        for approach in ALL_APPROACHES:
+
+            def cpre(preempted: str, preempting: str, _approach=approach) -> int:
+                return analyzer.cpre(preempted, preempting, _approach)
+
+            system_wcrt = compute_system_wcrt(
+                system,
+                cpre=cpre,
+                context_switch=spec.context_switch_cycles,
+                stop_at_deadline=False,
+                budget=budget,
+                ledger=ledger,
+            )
+            wcrt[approach.value] = {
+                name: system_wcrt.wcrt(name) for name in spec.priority_order
+            }
+            schedulable[approach.value] = system_wcrt.schedulable
+        result = PointResult(
+            point=point,
+            wcet={
+                name: artifacts[name].wcet.cycles
+                for name in spec.priority_order
+            },
+            estimates=estimates,
+            wcrt=wcrt,
+            schedulable=schedulable,
+            soundness=ledger.soundness,
+            events=tuple(ledger.events),
+            analysis_seconds=perf_counter() - started,
+            store_hits=(store.hits - hits_before) if store is not None else 0,
+            store_misses=(
+                store.misses - misses_before
+            ) if store is not None else 0,
+        )
+        span.set(soundness=result.soundness)
+    return result

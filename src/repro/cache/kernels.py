@@ -21,7 +21,14 @@ Block-set interning keeps one canonical object per distinct frozenset of
 memory blocks.  The analyses build the same group sets over and over (every
 ``CIIP.from_addresses`` of the same footprint, every ``restrict``), so
 interning both bounds memory and turns later set-equality checks into
-pointer comparisons.
+pointer comparisons.  The table is *bounded*: one analysis creates a small
+universe of distinct sets, but a fuzz campaign or a geometry sweep
+analysing thousands of unrelated programs in one warm process would grow
+it without limit, so once :func:`intern_limit` entries accumulate the
+table is cleared and restarted (clearing is always safe — see
+:func:`reset_intern_table`).  The current size is published as the
+``kernels.intern_size`` gauge and every bound-triggered clear as the
+``kernels.intern.resets`` counter.
 """
 
 from __future__ import annotations
@@ -35,32 +42,73 @@ SetCounts = Dict[int, int]
 
 _BLOCKSET_INTERN: dict[frozenset[int], frozenset[int]] = {}
 
+#: Default bound on distinct interned block sets per process.  Generously
+#: above any single analysis (the experiment task sets intern a few
+#: hundred) yet small enough that a multi-thousand-case campaign stays at
+#: tens of MB instead of growing forever.
+DEFAULT_INTERN_LIMIT = 32_768
+
+_INTERN_LIMIT = DEFAULT_INTERN_LIMIT
+
+
+def intern_limit() -> int:
+    """The current bound on distinct interned block sets."""
+    return _INTERN_LIMIT
+
+
+def set_intern_limit(limit: int) -> None:
+    """Rebound the intern table (tests use tiny limits to exercise resets).
+
+    Takes effect on the next insertion; an already-over-limit table is
+    cleared immediately.
+    """
+    global _INTERN_LIMIT
+    if limit < 1:
+        raise ValueError(f"intern limit must be >= 1, got {limit}")
+    _INTERN_LIMIT = limit
+    if len(_BLOCKSET_INTERN) >= _INTERN_LIMIT:
+        reset_intern_table()
+
 
 def reset_intern_table() -> None:
-    """Drop every interned block set.
+    """Drop every interned block set (start a fresh generation).
 
-    Single analyses create a bounded universe of group sets, but a fuzz
-    campaign analysing thousands of unrelated programs in one process
-    would grow the table without bound; the campaign runner calls this
-    between cases.  Existing CIIPs keep their (now un-interned) sets, so
-    clearing is always safe — only future interning stops deduplicating
-    against the dropped generation.
+    Existing CIIPs keep their (now un-interned) sets, so clearing is
+    always safe — only future interning stops deduplicating against the
+    dropped generation.  Called automatically when the table reaches
+    :func:`intern_limit`, and available to callers (the fuzz runner used
+    to invoke it between cases before the bound existed).
     """
     _BLOCKSET_INTERN.clear()
+    if _OBS.enabled:
+        _OBS.metrics.gauge("kernels.intern_size").set(0)
+
+
+def intern_table_size() -> int:
+    """Distinct block sets currently interned (the gauge's value)."""
+    return len(_BLOCKSET_INTERN)
 
 
 def intern_blocks(blocks: frozenset[int]) -> frozenset[int]:
     """Return the canonical instance of *blocks* (one object per value).
 
-    The intern table is process-global and append-only (between
-    :func:`reset_intern_table` calls); analyses create a bounded universe
-    of distinct group sets per run, so no eviction is needed.  Workers of
-    a process pool build their own tables.
+    The intern table is process-global and append-only between
+    generations: a single analysis creates a bounded universe of distinct
+    group sets, and long-running campaigns are kept in check by the
+    :func:`intern_limit` bound, which clears the table once it fills.
+    Workers of a process pool build their own tables.
     """
     cached = _BLOCKSET_INTERN.get(blocks)
     if cached is None:
+        if len(_BLOCKSET_INTERN) >= _INTERN_LIMIT:
+            _BLOCKSET_INTERN.clear()
+            if _OBS.enabled:
+                _OBS.metrics.counter("kernels.intern.resets").inc()
         if _OBS.enabled:
             _OBS.metrics.counter("kernels.intern.misses").inc()
+            _OBS.metrics.gauge("kernels.intern_size").set(
+                len(_BLOCKSET_INTERN) + 1
+            )
         _BLOCKSET_INTERN[blocks] = blocks
         return blocks
     if _OBS.enabled:

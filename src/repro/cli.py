@@ -8,6 +8,8 @@ Commands:
 * ``analyze``   — full single-task analysis report for one workload.
 * ``crpd``      — Table II (reload-line estimates) for one experiment.
 * ``simulate``  — run the shared-cache scheduler and report ARTs.
+* ``sweep``     — batch-analyse a penalty × geometry grid on the warm
+  worker pool with sub-artifact reuse (see ``docs/performance.md``).
 * ``obs``       — observability utilities (``obs summarize trace.jsonl``).
 * ``fuzz``      — differential fuzzing campaign (``fuzz run``), single-case
   replay (``fuzz replay``) and counterexample minimization
@@ -230,6 +232,72 @@ def cmd_report(args: argparse.Namespace) -> int:
     output.write_text("\n".join(sections) + "\n")
     print(f"wrote {output} ({'all checks passed' if report.passed else 'FAILURES'})")
     return 0 if report.passed else 1
+
+
+def _parse_geometry(text: str) -> tuple[int, int, int]:
+    from repro.errors import ConfigError
+
+    try:
+        num_sets, ways, line_size = (int(part) for part in text.split("x"))
+    except ValueError:
+        raise ConfigError(
+            f"--geometry must look like SETSxWAYSxLINE (e.g. 64x4x32), "
+            f"got {text!r}"
+        ) from None
+    return num_sets, ways, line_size
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.batch import analyze_batch, sweep_grid
+
+    experiments = ("exp1", "exp2") if args.experiment == "both" else (
+        f"exp{args.experiment}",
+    )
+    geometries = (
+        [_parse_geometry(text) for text in args.geometry]
+        if args.geometry
+        else None
+    )
+    points = sweep_grid(
+        experiments=experiments,
+        penalties=tuple(args.penalties),
+        geometries=geometries,
+    )
+    batch = analyze_batch(
+        points,
+        jobs=args.jobs,
+        store=_store_from(args),
+        budget=_budget_from(args),
+        path_engine=_engine_from(args),
+    )
+    for result in batch:
+        verdicts = " ".join(
+            f"a{approach}={'ok' if ok else 'MISS'}"
+            for approach, ok in sorted(result.schedulable.items())
+        )
+        print(
+            f"{result.point.label():24s} {verdicts}  "
+            f"soundness={result.soundness} "
+            f"degradations={len(result.events)}"
+        )
+    summary = batch.summary()
+    print(
+        f"swept {summary['points']} point(s) "
+        f"({summary['unique_points']} unique, "
+        f"{summary['deduplicated']} deduplicated) in "
+        f"{summary['elapsed_seconds']:.2f}s — "
+        f"pool reuse {summary['pool']['reuse']}/{summary['pool']['tasks']}, "
+        f"store {summary['store']['hits']} hit(s) / "
+        f"{summary['store']['misses']} miss(es)"
+    )
+    if args.json:
+        path = Path(args.json)
+        path.write_text(json.dumps(batch.to_dict(), indent=2) + "\n")
+        print(f"wrote {path}")
+    return 0
 
 
 def cmd_obs_summarize(args: argparse.Namespace) -> int:
@@ -477,6 +545,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the first N scheduler events",
     )
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="batch-analyse a penalty × geometry grid on the warm pool "
+        "(see docs/performance.md)",
+    )
+    p_sweep.add_argument(
+        "--experiment", choices=("1", "2", "both"), default="1",
+        help="which experiment(s) to sweep (default: 1)",
+    )
+    p_sweep.add_argument(
+        "--penalties", type=int, nargs="*", default=[10, 20, 30, 40],
+        metavar="CYCLES",
+        help="miss penalties to sweep (default: 10 20 30 40)",
+    )
+    p_sweep.add_argument(
+        "--geometry", nargs="*", metavar="SETSxWAYSxLINE", default=None,
+        help="cache geometries to sweep, e.g. 64x4x32 128x2x32 "
+        "(default: the scaled 8KB geometry only)",
+    )
+    p_sweep.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the full per-point results as JSON to FILE",
+    )
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_obs = sub.add_parser("obs", help="observability utilities")
     obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)

@@ -29,6 +29,7 @@ from repro.cache.config import CacheConfig
 
 if TYPE_CHECKING:
     from repro.analysis.store import ArtifactStore
+    from repro.batch.pool import WarmPool
 from repro.cache.state import CacheState
 from repro.guard.budget import AnalysisBudget
 from repro.guard.ledger import DegradationLedger
@@ -158,28 +159,48 @@ class ExperimentContext:
         return self._art_cache[key]
 
 
-def _analyze_task_worker(args):
-    """Analyse one task in a worker process (module level to pickle).
+def _analyze_task_point(context, item):
+    """Analyse one task of one sweep point (module level to pickle).
 
-    The worker re-arms the budget (its own wall clock) and records
-    degradations into a private ledger whose events are merged back into
-    the parent context's ledger in priority order, so the merged ledger is
-    identical to a sequential run's.
+    Runs in a :class:`~repro.batch.pool.WarmPool` worker — or in-process
+    on the serial fallback path.  The *context* (layouts and scenarios,
+    invariant across an entire penalty/geometry sweep) ships once per
+    pool; the *item* carries only what varies per point: the task name,
+    the cache configuration and the budget.  The worker re-arms the
+    budget (its own wall clock) and records degradations into a private
+    ledger whose events are merged back into the parent context's ledger
+    in priority order, so the merged ledger is identical to a sequential
+    run's.  Artifacts return with columnar traces
+    (:func:`~repro.analysis.artifacts.shippable_artifacts`), which is
+    what keeps the result pickle small enough for the fan-out to pay off.
     """
-    name, layout, scenarios, config, budget, store_directory, obs_enabled = args
+    from repro.analysis.artifacts import shippable_artifacts
+    from repro.batch.pool import derived, in_worker
+
+    _, _, layouts, scenario_maps, store_directory = context
+    name, config, budget, obs_enabled = item
     ledger = DegradationLedger()
     store = None
     if store_directory is not None:
         from repro.analysis.store import ArtifactStore
 
-        store = ArtifactStore(directory=store_directory)
+        # One store handle per worker per context: its in-memory LRU (and
+        # the trace/flow entries it caches) stays warm across the points
+        # of a sweep instead of being rebuilt per task.
+        store = derived(
+            context,
+            "experiments.store",
+            lambda: ArtifactStore(directory=store_directory),
+        )
+    layout, scenarios = layouts[name], scenario_maps[name]
     records: tuple = ()
     snapshot = None
-    if obs_enabled:
-        # Fresh per-worker observability; the parent adopts the spans
+    if obs_enabled and in_worker():
+        # Fresh per-task observability; the parent adopts the spans
         # (re-parented under its build_context span) and merges the
         # metrics snapshot in priority order, so the merged trace is
-        # deterministic.
+        # deterministic.  On the serial path the caller's tracer is live
+        # and records directly.
         from repro.obs import install, uninstall
 
         tracer, metrics = install()
@@ -196,7 +217,7 @@ def _analyze_task_worker(args):
         artifacts = analyze_task(
             layout, scenarios, config, budget=budget, ledger=ledger, store=store
         )
-    return name, artifacts, ledger.events, records, snapshot
+    return name, shippable_artifacts(artifacts), ledger.events, records, snapshot
 
 
 def build_context(
@@ -207,6 +228,7 @@ def build_context(
     jobs: int = 1,
     store: "ArtifactStore | None" = None,
     path_engine: str = "auto",
+    pool: "WarmPool | None" = None,
 ) -> ExperimentContext:
     """Build, place and analyse one experiment's task set.
 
@@ -215,13 +237,17 @@ def build_context(
     a *budget* the whole analysis runs guarded: every stage shares one
     wall clock and writes degradations into the context's ledger.
 
-    ``jobs > 1`` fans the per-task analyses out across worker processes
-    (each re-arming the budget locally; the wall clock then counts per
-    task rather than across tasks); artifacts and ledger events merge
-    back in priority order, so results are deterministic.  ``store``
-    short-circuits analyses whose inputs were seen before (see
-    :mod:`repro.analysis.store`); ``path_engine`` is forwarded to the
-    :class:`CRPDAnalyzer`.
+    ``jobs > 1`` fans the per-task analyses out across the workers of a
+    :class:`~repro.batch.pool.WarmPool` (each re-arming the budget
+    locally; the wall clock then counts per task rather than across
+    tasks); artifacts and ledger events merge back in priority order, so
+    results are deterministic.  Pass *pool* to reuse an already-warm pool
+    across the points of a sweep — the layouts and scenarios then ship to
+    the workers once, not once per point (see
+    :func:`repro.batch.engine.analyze_batch`).  ``store`` short-circuits
+    analyses whose inputs were seen before (see
+    :mod:`repro.analysis.store`) and enables pair-level CRPD caching;
+    ``path_engine`` is forwarded to the :class:`CRPDAnalyzer`.
     """
     # The span brackets exactly the region build_seconds times, so trace
     # durations reconcile with the context's reported wall time.
@@ -229,7 +255,8 @@ def build_context(
         "experiments.build_context", experiment=spec.key, jobs=jobs
     ) as span:
         context = _build_context(
-            spec, miss_penalty, cache, budget, jobs, store, path_engine, span
+            spec, miss_penalty, cache, budget, jobs, store, path_engine,
+            pool, span,
         )
         span.set(build_seconds=context.build_seconds)
         return context
@@ -243,6 +270,7 @@ def _build_context(
     jobs: int,
     store: "ArtifactStore | None",
     path_engine: str,
+    pool: "WarmPool | None",
     span,
 ) -> ExperimentContext:
     started = perf_counter()
@@ -254,32 +282,33 @@ def _build_context(
     for name in spec.placement_order:
         layout.place(workloads[name].program)
     layouts = {name: layout.layout_of(name) for name in spec.priority_order}
-    if jobs > 1:
-        from concurrent.futures import ProcessPoolExecutor
+    if pool is not None or jobs > 1:
+        from repro.batch.pool import WarmPool
 
+        own_pool: "WarmPool | None" = None
+        if pool is None:
+            own_pool = pool = WarmPool(jobs)
         store_directory = (
             store.directory if store is not None and store.enabled else None
         )
-        work = [
-            (
-                name,
-                layouts[name],
-                workloads[name].scenario_map(),
-                config,
-                budget,
-                store_directory,
-                _OBS.enabled,
-            )
+        shared = (
+            "experiments.tasks",
+            spec.key,
+            layouts,
+            {name: workloads[name].scenario_map() for name in spec.priority_order},
+            store_directory,
+        )
+        items = [
+            (name, config, budget, _OBS.enabled)
             for name in spec.priority_order
         ]
         artifacts = {}
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(work))
-        ) as pool:
-            # pool.map yields in priority order, so worker spans are
+        try:
+            token = pool.seed(shared)
+            # The pool yields in priority order, so worker spans are
             # adopted and metrics merged deterministically.
             for name, task_artifacts, events, records, snapshot in pool.map(
-                _analyze_task_worker, work
+                _analyze_task_point, items, context=token
             ):
                 artifacts[name] = task_artifacts
                 ledger.events.extend(events)
@@ -288,6 +317,9 @@ def _build_context(
                         _OBS.tracer.adopt(records, parent_id=span.span_id)
                     if snapshot is not None:
                         _OBS.metrics.merge(snapshot)
+        finally:
+            if own_pool is not None:
+                own_pool.close()
     else:
         artifacts = {
             name: analyze_task(
@@ -326,6 +358,7 @@ def _build_context(
             ledger=ledger,
             clock=clock,
             path_engine=path_engine,
+            store=store,
         ),
         system=TaskSystem(tasks=tasks),
         budget=budget,

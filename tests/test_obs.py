@@ -286,7 +286,17 @@ class TestFanOutDeterminism:
                  r["attrs"].get("preempting"))
                 for r in tracer.records
             ]
-            return shape, metrics.to_dict()["counters"]
+            counters = {
+                # Pool health telemetry (batch.pool.reuse et al.) and
+                # intern-table locality (kernels.intern.*) depend on
+                # which warm worker picked up which pair — scheduling,
+                # not analysis — so they are exempt from the
+                # determinism contract.
+                name: value
+                for name, value in metrics.to_dict()["counters"].items()
+                if not name.startswith(("batch.pool.", "kernels.intern."))
+            }
+            return shape, counters
 
         shape1, counters1 = run()
         shape2, counters2 = run()

@@ -64,17 +64,27 @@ class TestStoreHonesty:
             warm = ArtifactStore(directory=tmp_path)  # disk entries only
             analyze_task(layout, scenarios, tiny_cache_config, store=warm)
 
-        for store, hits, misses in ((cold, 1, 1), (warm, 1, 0)):
+        # Cold instance: first run misses every sub-artifact lookup
+        # (task memo, trace, flow, paths), second run is answered whole
+        # by the memory-only task memo.  Fresh instance: the four disk
+        # sub-artifacts hit, only the task memo misses.
+        for store, hits, misses in ((cold, 1, 4), (warm, 4, 1)):
             assert store.gets == store.hits + store.misses
             assert (store.hits, store.misses) == (hits, misses)
+        assert cold.hits_by_kind == {"task": 1}
+        assert warm.hits_by_kind == {
+            "trace": 1, "sim": 1, "flow": 1, "paths": 1,
+        }
         counters = metrics.to_dict()["counters"]
         assert counters["store.gets"] == counters["store.hits"] + counters[
             "store.misses"
         ]
         assert counters["store.gets"] == cold.gets + warm.gets
-        assert counters["store.hits.memory"] == 1
-        assert counters["store.hits.disk"] == 1
-        assert counters["store.puts"] == 1
+        assert counters["store.hits.memory"] == 1  # the task-memo hit
+        assert counters["store.hits.disk"] == 4
+        # Cold writes trace/sim/flow/paths plus the memory-only memo;
+        # the warm instance re-memoizes its own task memo.
+        assert counters["store.puts"] == 6
         assert counters["store.bytes_written"] == cold.bytes_written > 0
         assert counters["store.bytes_read"] == warm.bytes_read > 0
 

@@ -242,12 +242,22 @@ class TestCacheEquivalence:
             cold = analyze_task(
                 layout, workload.scenario_map(), config, store=cold_store
             )
-            assert cold_store.misses == 1 and cold_store.hits == 0
+            # Cold: every sub-artifact lookup misses (the sim bundle is
+            # written without a prior lookup, so it never counts here).
+            assert cold_store.hits == 0
+            assert cold_store.misses_by_kind == {
+                "task": 1, "trace": 1, "flow": 1, "paths": 1,
+            }
             warm_store = ArtifactStore(directory=tmp_path)  # disk only
             warm = analyze_task(
                 layout, workload.scenario_map(), config, store=warm_store
             )
-            assert warm_store.hits == 1, f"case {case}: expected a disk hit"
+            # Warm from disk: all four persisted sub-artifacts hit; only
+            # the memory-only assembly memo misses.
+            assert warm_store.hits_by_kind == {
+                "trace": 1, "sim": 1, "flow": 1, "paths": 1,
+            }, f"case {case}: expected four disk hits"
+            assert warm_store.misses_by_kind == {"task": 1}
             assert _artifact_fingerprint(cold) == _artifact_fingerprint(warm)
 
     def test_ledger_parity_under_tripped_budget(self, tmp_path):
@@ -278,13 +288,18 @@ class TestCacheEquivalence:
             ledger=warm_ledger,
             store=warm_store,
         )
-        assert warm_store.hits == 1
+        assert warm_store.hits_by_kind == {
+            "trace": 1, "sim": 1, "flow": 1, "paths": 1,
+        }
         assert warm_ledger.events == cold_ledger.events
         assert warm_ledger.soundness == cold_ledger.soundness == "conservative"
         assert _artifact_fingerprint(cold) == _artifact_fingerprint(warm)
 
     def test_budget_is_part_of_the_key(self, tmp_path):
-        """Analyses under different path budgets never share an entry."""
+        """Different path budgets never share a *paths* entry — but they
+        do share the budget-independent trace/sim/flow sub-artifacts,
+        which is exactly the cross-scenario reuse the decomposition
+        buys."""
         workload = build_workload("ed")
         config = CacheConfig.scaled_8k(miss_penalty=20)
         layout = SystemLayout().place(workload.program)
@@ -297,7 +312,13 @@ class TestCacheEquivalence:
         full = analyze_task(
             layout, workload.scenario_map(), config, store=store
         )
-        assert store.misses == 2 and store.hits == 0
+        # The second run re-enumerates paths (new budget => new key) and
+        # re-misses the budget-keyed assembly memo, but replays the
+        # simulation sub-artifacts.
+        assert store.misses_by_kind == {
+            "task": 2, "trace": 1, "flow": 1, "paths": 2,
+        }
+        assert store.hits_by_kind == {"trace": 1, "sim": 1, "flow": 1}
         assert full.path_enumeration_complete
 
 

@@ -1,0 +1,109 @@
+"""Schema migration: v1 monolithic cache entries are stale, not fatal.
+
+Schema 1 of the artifact store pickled bare ``CachedAnalysis`` bundles;
+schema 2 wraps sub-artifacts in the :class:`StoredEntry` envelope.  A
+cache directory written by an older version must degrade gracefully: a
+v1 entry squatting on a current key is a *stale* counted miss (distinct
+from ``corrupt``, so migrations show up in telemetry), the file is
+deleted, the analysis recomputes, and the slot heals — never an error,
+never a silently wrong result.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.analysis import analyze_task
+from repro.analysis.store import ArtifactStore, CachedAnalysis, StoredEntry
+from repro.obs import observed
+from repro.program import SystemLayout
+
+from tests.conftest import make_streaming_program
+
+
+def _case(tmp_path, config):
+    program = make_streaming_program("mig", words=16, reps=1)
+    layout = SystemLayout().place(program)
+    scenarios = {"s": {"data": list(range(16))}}
+    store = ArtifactStore(directory=tmp_path)
+    cold = analyze_task(layout, scenarios, config, store=store)
+    entries = sorted(tmp_path.glob("*.pkl"))
+    assert len(entries) == 4  # trace, sim, flow, paths
+    return layout, scenarios, entries, cold
+
+
+def _plant_v1(entry) -> None:
+    """Overwrite *entry* with what schema 1 wrote: a bare monolithic
+    ``CachedAnalysis`` pickle, no envelope."""
+    entry.write_bytes(
+        pickle.dumps(
+            CachedAnalysis(artifacts=None), protocol=pickle.HIGHEST_PROTOCOL
+        )
+    )
+
+
+def test_v1_entries_are_counted_stale_misses_and_heal(
+    tmp_path, tiny_cache_config
+):
+    layout, scenarios, entries, cold = _case(tmp_path, tiny_cache_config)
+    for entry in entries:
+        _plant_v1(entry)
+
+    with observed() as (_, metrics):
+        store = ArtifactStore(directory=tmp_path)
+        warm = analyze_task(layout, scenarios, tiny_cache_config, store=store)
+
+    # Three stale reads (trace/flow/paths; sim is skipped once the trace
+    # lookup misses), zero corruption, zero hits — and honest counting.
+    assert store.hits == 0
+    assert (store.stale, store.corrupt) == (3, 0)
+    assert store.gets == store.hits + store.misses
+    assert metrics.to_dict()["counters"]["store.stale"] == 3
+    # The recomputation is a full, correct cold run.
+    assert warm.wcet.cycles == cold.wcet.cycles
+    assert warm.footprint == cold.footprint
+    # The v1 files were replaced: the next lookup is all hits again.
+    retry = ArtifactStore(directory=tmp_path)
+    analyze_task(layout, scenarios, tiny_cache_config, store=retry)
+    assert retry.stale == 0
+    assert retry.hits_by_kind == {"trace": 1, "sim": 1, "flow": 1, "paths": 1}
+
+
+def test_wrong_schema_envelope_is_stale(tmp_path, tiny_cache_config):
+    """A ``StoredEntry`` with a superseded schema number is equally stale
+    — the envelope alone is not enough, the version must match."""
+    layout, scenarios, entries, _ = _case(tmp_path, tiny_cache_config)
+    for entry in entries:
+        entry.write_bytes(
+            pickle.dumps(
+                StoredEntry(
+                    schema=1,
+                    kind="task",
+                    payload=CachedAnalysis(artifacts=None),
+                ),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        )
+    store = ArtifactStore(directory=tmp_path)
+    analyze_task(layout, scenarios, tiny_cache_config, store=store)
+    assert (store.stale, store.corrupt, store.hits) == (3, 0, 0)
+
+
+def test_kind_collision_is_stale_not_a_wrong_payload(
+    tmp_path, tiny_cache_config
+):
+    """An entry of the *right* schema but the wrong kind (e.g. a paths
+    bundle squatting on a trace key) must never be returned as a hit."""
+    layout, scenarios, entries, cold = _case(tmp_path, tiny_cache_config)
+    payloads = [pickle.loads(e.read_bytes()) for e in entries]
+    by_kind = {p.kind: (e, p) for e, p in zip(entries, payloads)}
+    trace_entry, _ = by_kind["trace"]
+    _, paths_payload = by_kind["paths"]
+    trace_entry.write_bytes(
+        pickle.dumps(paths_payload, protocol=pickle.HIGHEST_PROTOCOL)
+    )
+
+    store = ArtifactStore(directory=tmp_path)
+    warm = analyze_task(layout, scenarios, tiny_cache_config, store=store)
+    assert store.stale == 1
+    assert warm.wcet.cycles == cold.wcet.cycles
