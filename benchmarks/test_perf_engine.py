@@ -48,6 +48,7 @@ REPO_ROOT = pathlib.Path(__file__).parent.parent
 WARM_SPEEDUP_GATE = 2.0  # CI fails below this, Experiment I only
 PARALLEL_SPEEDUP_GATE = 1.3  # warm-pool jobs=2 sweep vs per-call pools
 SWEEP_WARM_SPEEDUP_GATE = 3.0  # geometry grid: warm store vs recompute
+WHATIF_P50_GATE_SECONDS = 0.050  # single-edit re-analysis, warm, ROADMAP 2
 WARM_REPEATS = 3
 SWEEP_PENALTIES = (10, 20, 30, 40)
 SWEEP_GEOMETRIES = ((64, 4, 32), (128, 2, 32), (32, 4, 16))
@@ -252,6 +253,46 @@ def _bench_path_bomb():
     }
 
 
+def _bench_whatif(experiment):
+    """Warm single-edit latency of the incremental what-if engine.
+
+    One session per experiment: analyse the base cold, run an edit grid
+    once to populate the session store and the WCRT memo (the geometry
+    states' sub-artifacts land in the store on this pass), then measure
+    a second pass over the same grid — every edit is now answered by
+    sub-artifact reuse plus warm-started fixpoints.  The p50 of that
+    warm pass is the interactive-latency gate (< 50 ms, ROADMAP item 2).
+    """
+    from statistics import median
+
+    from repro.analysis.whatif import WhatIfSession
+
+    with WhatIfSession(experiment) as session:
+        base = session.result()
+        task = next(iter(base.periods))
+        period = base.periods[task]
+        edits = [
+            "penalty=10",
+            "penalty=40",
+            f"period:{task}={period * 2}",
+            f"period:{task}={period}",
+            "geometry=64x2x32",
+            "geometry=128x4x32",
+            "penalty=20",
+        ]
+        for edit in edits:  # population pass: cold geometry states
+            session.apply(edit)
+        warm_seconds = [session.apply(edit).elapsed_seconds for edit in edits]
+    p50 = median(warm_seconds)
+    return {
+        "base_cold_seconds": round(base.elapsed_seconds, 4),
+        "edits": len(edits),
+        "warm_p50_ms": round(p50 * 1e3, 3),
+        "warm_max_ms": round(max(warm_seconds) * 1e3, 3),
+        "edits_per_sec": round(1.0 / p50, 1),
+    }
+
+
 def test_perf_engine():
     results = {
         "bench": "perf_engine",
@@ -259,6 +300,7 @@ def test_perf_engine():
             "exp1_warm_speedup_min": WARM_SPEEDUP_GATE,
             "exp1_parallel_speedup_min": PARALLEL_SPEEDUP_GATE,
             "sweep_warm_speedup_min": SWEEP_WARM_SPEEDUP_GATE,
+            "whatif_warm_p50_max_ms": WHATIF_P50_GATE_SECONDS * 1e3,
         },
         "exp1": _bench_experiment(EXPERIMENT_I_SPEC),
         "exp2": _bench_experiment(EXPERIMENT_II_SPEC),
@@ -268,14 +310,24 @@ def test_perf_engine():
         },
         "geometry_sweep": _bench_geometry_sweep(),
         "path_bomb": _bench_path_bomb(),
+        "whatif": {
+            "exp1": _bench_whatif("exp1"),
+            "exp2": _bench_whatif("exp2"),
+        },
     }
     # The metrics the gates (and scripts/bench_gate_diff.py) watch.
+    # ``whatif_edits_per_sec`` is the p50 edit latency inverted so the
+    # diff script's higher-is-better convention applies; the slower
+    # experiment is the one gated.
     results["gated"] = {
         "exp1_warm_speedup": results["exp1"]["warm_speedup"],
         "exp1_parallel_speedup": results["parallel_sweep"]["exp1"][
             "parallel_speedup"
         ],
         "sweep_warm_speedup": results["geometry_sweep"]["warm_sweep_speedup"],
+        "whatif_edits_per_sec": min(
+            results["whatif"][key]["edits_per_sec"] for key in ("exp1", "exp2")
+        ),
     }
     (REPO_ROOT / "BENCH_perf.json").write_text(
         json.dumps(results, indent=2) + "\n"
@@ -305,6 +357,13 @@ def test_perf_engine():
         f"{sweep['warm_seconds'] * 1000:.0f} ms "
         f"({sweep['warm_sweep_speedup']}x)"
     )
+    for key in ("exp1", "exp2"):
+        r = results["whatif"][key]
+        lines.append(
+            f"{key} what-if: base {r['base_cold_seconds'] * 1000:.0f} ms cold, "
+            f"{r['edits']} warm edits p50 {r['warm_p50_ms']:.2f} ms / "
+            f"max {r['warm_max_ms']:.2f} ms ({r['edits_per_sec']} edits/s)"
+        )
     bomb = results["path_bomb"]
     lines.append(
         f"path bomb: {bomb['feasible_paths']} paths "
@@ -332,3 +391,10 @@ def test_perf_engine():
         f"geometry-sweep warm speedup {sweep['warm_sweep_speedup']}x below "
         f"the {SWEEP_WARM_SPEEDUP_GATE}x gate (see BENCH_perf.json)"
     )
+    for key in ("exp1", "exp2"):
+        p50_ms = results["whatif"][key]["warm_p50_ms"]
+        assert p50_ms < WHATIF_P50_GATE_SECONDS * 1e3, (
+            f"{key} what-if warm p50 {p50_ms} ms breaches the "
+            f"{WHATIF_P50_GATE_SECONDS * 1e3:.0f} ms interactive gate "
+            f"(see BENCH_perf.json)"
+        )

@@ -136,6 +136,94 @@ class TaskArtifacts:
             self._path_ciips = cached
         return cached
 
+    def dense_footprint(self) -> "bytes | None":
+        """Capped dense per-set vector of the task footprint, memoised.
+
+        ``None`` when the geometry is not dense-representable (one byte
+        per set caps the associativity at 255); callers then stay on the
+        sparse kernels.
+        """
+        cached = getattr(self, "_dense_footprint", None)
+        if cached is None:
+            from repro.cache.kernels import dense_from_ciip_counts
+
+            cached = dense_from_ciip_counts(
+                self.footprint_ciip.set_counts,
+                self.config.num_sets,
+                self.config.ways,
+            )
+            self._dense_footprint = cached
+        return cached
+
+    def dense_mumbs(self) -> "bytes | None":
+        """Capped dense vector of the MUMBS CIIP (Eq. 3's ``M̃``), memoised."""
+        cached = getattr(self, "_dense_mumbs", None)
+        if cached is None:
+            from repro.cache.kernels import dense_from_ciip_counts
+
+            cached = dense_from_ciip_counts(
+                self.mumbs_ciip().set_counts,
+                self.config.num_sets,
+                self.config.ways,
+            )
+            self._dense_mumbs = cached
+        return cached
+
+    def dense_path_matrix(self) -> "bytes | None":
+        """All path-footprint vectors stacked into one flat row matrix.
+
+        Row *i* is the capped dense vector of ``path_ciips()[i]``; the
+        Approach-4 maximisation over paths against one preemptee vector is
+        then a single :func:`repro.cache.kernels.dense_max_conflict` call.
+        Memoised; ``None`` when the geometry is not dense-representable.
+        """
+        cached = getattr(self, "_dense_path_matrix", None)
+        if cached is None:
+            from repro.cache.kernels import dense_from_ciip_counts, dense_rows
+
+            vectors = []
+            for ciip in self.path_ciips():
+                vec = dense_from_ciip_counts(
+                    ciip.set_counts, self.config.num_sets, self.config.ways
+                )
+                if vec is None:
+                    self._dense_path_matrix = None
+                    return None
+                vectors.append(vec)
+            cached = dense_rows(vectors)
+            self._dense_path_matrix = cached
+        return cached
+
+    def dense_useful_points(self) -> "list[bytes] | None":
+        """Dense vectors of the non-empty per-point useful CIIPs, memoised.
+
+        Mirrors the ``per_point`` MUMBS mode: each entry is the footprint
+        CIIP restricted to one useful-block point's blocks; points with no
+        blocks are skipped (they bound zero conflicts).
+        """
+        cached = getattr(self, "_dense_useful_points", None)
+        if cached is None:
+            from repro.cache.kernels import dense_from_ciip_counts
+
+            vectors = []
+            for point in self.useful.points:
+                blocks = point.blocks()
+                if not blocks:
+                    continue
+                restricted = self.footprint_ciip.restrict(blocks)
+                vec = dense_from_ciip_counts(
+                    restricted.set_counts,
+                    self.config.num_sets,
+                    self.config.ways,
+                )
+                if vec is None:
+                    self._dense_useful_points = None
+                    return None
+                vectors.append(vec)
+            cached = vectors
+            self._dense_useful_points = cached
+        return cached
+
     def summary(self) -> dict[str, int]:
         """Headline numbers for reports and quick sanity checks."""
         return {

@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING
 from repro.analysis.artifacts import TaskArtifacts
 from repro.analysis.intertask import approach1_lines, approach2_lines, eq3_lines
 from repro.analysis.pathcost import approach4_lines
+from repro.cache.kernels import dense_conflict, dense_max_conflict, dense_usage
 from repro.errors import BudgetExceeded, ConfigError
 from repro.obs import STATE as _OBS
 
@@ -130,6 +131,16 @@ class CRPDAnalyzer:
               answer is recovered from the structure tree instead of
               degrading (no ``crpd:`` ledger event is recorded).
             * ``"enumerate"`` — the naive materialised-path loop.
+            * ``"dense"`` — the flat-array kernels: every path footprint
+              is packed once into a dense byte matrix
+              (:meth:`TaskArtifacts.dense_path_matrix`) and Eq. 4's path
+              maximisation collapses to one
+              :func:`~repro.cache.kernels.dense_max_conflict` call per
+              (pair, execution point).  Identical results and identical
+              degradation ladder to ``"auto"`` (falls back to
+              branch-and-bound when the geometry is not
+              dense-representable); the incremental what-if engine and
+              the batched benchmarks run this mode.
     """
 
     def __init__(
@@ -147,7 +158,7 @@ class CRPDAnalyzer:
         configs = {artifacts.config for artifacts in tasks.values()}
         if len(configs) != 1:
             raise ConfigError("all tasks must share one cache configuration")
-        if path_engine not in ("auto", "exact", "enumerate"):
+        if path_engine not in ("auto", "exact", "enumerate", "dense"):
             raise ConfigError(f"unknown path_engine {path_engine!r}")
         self.tasks = dict(tasks)
         self.config = next(iter(configs))
@@ -209,9 +220,20 @@ class CRPDAnalyzer:
     def _compute_lines(
         self, low: TaskArtifacts, high: TaskArtifacts, approach: Approach
     ) -> int:
+        # Approaches 1/2 reduce to flat min-sums over the tasks' memoised
+        # dense vectors whenever the geometry is dense-representable —
+        # byte-identical to the sparse kernels (pinned by the kernel
+        # parity tests), without per-entry dict probes.
         if approach is Approach.BUSQUETS:
+            vec = high.dense_footprint()
+            if vec is not None:
+                return dense_usage(vec)
             return approach1_lines(high)
         if approach is Approach.INTERTASK:
+            a = low.dense_footprint()
+            b = high.dense_footprint()
+            if a is not None and b is not None:
+                return dense_conflict(a, b)
             return approach2_lines(low, high)
         if approach is Approach.LEE:
             return low.useful.lee_reload_bound()
@@ -252,6 +274,16 @@ class CRPDAnalyzer:
                 ),
             )
         strict = self.budget is not None and self.budget.strict
+        if self.path_engine == "dense" and high.path_profiles:
+            lines = self._dense_combined(low, high)
+            if lines is not None:
+                return lines
+            # Geometry not dense-representable: branch-and-bound gives the
+            # same answer.
+            return approach4_lines(
+                low, high, mumbs_mode=self.mumbs_mode, strict=strict,
+                engine="prune",
+            )
         if self.path_engine == "auto" and high.path_profiles:
             # Identical result to enumeration (asserted by the equivalence
             # property tests), without walking every materialised path.
@@ -260,6 +292,34 @@ class CRPDAnalyzer:
                 engine="prune",
             )
         return approach4_lines(low, high, mumbs_mode=self.mumbs_mode, strict=strict)
+
+    def _dense_combined(self, low: TaskArtifacts, high: TaskArtifacts) -> int | None:
+        """Eq. 4 over the flat path matrix, or ``None`` when unrepresentable.
+
+        One :func:`dense_max_conflict` call per execution point collapses
+        the whole path maximisation; results are byte-identical to the
+        enumerate/prune engines (capping at the associativity while
+        densifying preserves every ``min(·, ·, L)`` term).
+        """
+        rows = high.dense_path_matrix()
+        if rows is None:
+            return None
+        if self.mumbs_mode == "paper":
+            vec = low.dense_mumbs()
+            if vec is None:
+                return None
+            return dense_max_conflict(rows, vec)
+        if self.mumbs_mode != "per_point":
+            return None
+        points = low.dense_useful_points()
+        if points is None:
+            return None
+        worst = 0
+        for vec in points:
+            cost = dense_max_conflict(rows, vec)
+            if cost > worst:
+                worst = cost
+        return worst
 
     def _degrade(
         self,

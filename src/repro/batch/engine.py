@@ -129,6 +129,10 @@ class PointResult:
             "soundness": self.soundness,
             "degradations": len(self.events),
             "analysis_seconds": self.analysis_seconds,
+            # Per-point store traffic: a regressing point is attributable
+            # (cold recompute vs cache-answered) straight from the sweep
+            # JSON, no trace file needed.
+            "store": {"hits": self.store_hits, "misses": self.store_misses},
         }
 
 

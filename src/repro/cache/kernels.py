@@ -11,11 +11,20 @@ cardinality vectors instead of intersecting frozensets per call: a
 and every subsequent ``conflict_bound``/``eq3_lines`` evaluation is a
 single sparse min-sum over the smaller of the two vectors.
 
-Cardinality vectors are *sparse* dicts (set index -> block count) rather
-than dense arrays: the experiment caches have up to 512 sets but task
-footprints touch only a band of them, so iterating the occupied entries of
-the smaller operand beats scanning a dense array — and needs no numpy,
-which the container does not ship.
+Cardinality vectors come in two layouts.  The *sparse* dict layout (set
+index -> block count) is the default for one-off bounds: task footprints
+touch only a band of the cache, so iterating the occupied entries of the
+smaller operand beats scanning a dense array.  The *dense* layout
+(:func:`dense_counts`) packs the capped counts into a ``bytes`` vector of
+``num_sets`` entries so that batched evaluations — every path of a
+preemptor against one preemptee vector, or all pairs of a task set — run
+as flat min-sums with no per-entry dict probes.  Dense kernels are exact:
+because ``min(a, b, L) == min(min(a, L), min(b, L))``, capping each count
+at the associativity while densifying preserves every conflict bound.
+The pure-Python backend needs nothing beyond ``bytes``; when the
+``REPRO_NUMPY=1`` environment flag is set and numpy imports, the same
+kernels dispatch to numpy ufuncs with byte-identical results
+(:func:`numpy_backend`).
 
 Block-set interning keeps one canonical object per distinct frozenset of
 memory blocks.  The analyses build the same group sets over and over (every
@@ -33,7 +42,8 @@ table is cleared and restarted (clearing is always safe — see
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+import os
+from typing import Dict, Mapping, Optional, Sequence
 
 from repro.obs import STATE as _OBS
 
@@ -67,20 +77,26 @@ def set_intern_limit(limit: int) -> None:
         raise ValueError(f"intern limit must be >= 1, got {limit}")
     _INTERN_LIMIT = limit
     if len(_BLOCKSET_INTERN) >= _INTERN_LIMIT:
-        reset_intern_table()
+        reset_intern_table(bound_triggered=True)
 
 
-def reset_intern_table() -> None:
+def reset_intern_table(*, bound_triggered: bool = False) -> None:
     """Drop every interned block set (start a fresh generation).
 
     Existing CIIPs keep their (now un-interned) sets, so clearing is
     always safe — only future interning stops deduplicating against the
-    dropped generation.  Called automatically when the table reaches
-    :func:`intern_limit`, and available to callers (the fuzz runner used
-    to invoke it between cases before the bound existed).
+    dropped generation.  Every clear — whether triggered here by a caller,
+    by :func:`set_intern_limit` shrinking below the live size, or by
+    :func:`intern_blocks` hitting the bound — goes through this single
+    path so the ``kernels.intern_size`` gauge and the
+    ``kernels.intern.resets`` counter can never diverge: the gauge drops
+    to zero on every clear, and *bound_triggered* clears (and only those)
+    bump the resets counter.
     """
     _BLOCKSET_INTERN.clear()
     if _OBS.enabled:
+        if bound_triggered:
+            _OBS.metrics.counter("kernels.intern.resets").inc()
         _OBS.metrics.gauge("kernels.intern_size").set(0)
 
 
@@ -101,9 +117,7 @@ def intern_blocks(blocks: frozenset[int]) -> frozenset[int]:
     cached = _BLOCKSET_INTERN.get(blocks)
     if cached is None:
         if len(_BLOCKSET_INTERN) >= _INTERN_LIMIT:
-            _BLOCKSET_INTERN.clear()
-            if _OBS.enabled:
-                _OBS.metrics.counter("kernels.intern.resets").inc()
+            reset_intern_table(bound_triggered=True)
         if _OBS.enabled:
             _OBS.metrics.counter("kernels.intern.misses").inc()
             _OBS.metrics.gauge("kernels.intern_size").set(
@@ -166,3 +180,131 @@ def usage_kernel(counts: SetCounts, ways: int) -> int:
 def capped_counts(counts: SetCounts, ways: int) -> SetCounts:
     """Per-set counts clamped at the associativity ``L``."""
     return {index: (count if count < ways else ways) for index, count in counts.items()}
+
+
+# --------------------------------------------------------------------------
+# Dense (flat-array) kernels
+#
+# A dense vector is ``bytes`` of length ``num_sets`` holding the per-set
+# block count *already capped at the associativity*.  Capping while
+# densifying is exact — min(a, b, L) == min(min(a, L), min(b, L)) — and
+# keeps every entry in a single byte for any realistic associativity
+# (the paper's configurations use L in {1, 2, 4}).
+
+#: Largest associativity representable in a one-byte dense entry.
+DENSE_MAX_WAYS = 0xFF
+
+_NUMPY_STATE: dict = {"resolved": False, "module": None}
+
+
+def numpy_backend():
+    """The numpy module when ``REPRO_NUMPY=1`` and numpy imports, else None.
+
+    Resolved lazily on first use and cached; the dense kernels consult it
+    on every call so tests can force either backend via
+    :func:`set_numpy_backend`.  With the flag unset (the default) the
+    pure-Python bytes backend runs — results are byte-identical either
+    way, numpy only changes the constant factor.
+    """
+    if not _NUMPY_STATE["resolved"]:
+        module = None
+        if os.environ.get("REPRO_NUMPY", "") not in ("", "0"):
+            try:
+                import numpy  # noqa: F401 -- optional fast path
+
+                module = numpy
+            except ImportError:
+                module = None
+        _NUMPY_STATE["resolved"] = True
+        _NUMPY_STATE["module"] = module
+    return _NUMPY_STATE["module"]
+
+
+def set_numpy_backend(module) -> None:
+    """Force the dense-kernel backend (tests): a numpy module, ``None`` for
+    pure Python, or the string ``"auto"`` to re-resolve from the
+    environment on next use."""
+    if module == "auto":
+        _NUMPY_STATE["resolved"] = False
+        _NUMPY_STATE["module"] = None
+        return
+    _NUMPY_STATE["resolved"] = True
+    _NUMPY_STATE["module"] = module
+
+
+def dense_counts(counts: SetCounts, num_sets: int, ways: int) -> bytes:
+    """Pack a sparse cardinality vector into a capped dense byte vector."""
+    if ways > DENSE_MAX_WAYS:
+        raise ValueError(
+            f"dense vectors hold one byte per set; ways={ways} exceeds {DENSE_MAX_WAYS}"
+        )
+    vec = bytearray(num_sets)
+    for index, count in counts.items():
+        vec[index] = count if count < ways else ways
+    return bytes(vec)
+
+
+def dense_rows(vectors: Sequence[bytes]) -> bytes:
+    """Concatenate equal-length dense vectors into one flat row matrix."""
+    return b"".join(vectors)
+
+
+def dense_usage(vec: bytes) -> int:
+    """Line-usage bound over a capped dense vector (Approach 1)."""
+    np = numpy_backend()
+    if np is not None:
+        return int(np.frombuffer(vec, dtype=np.uint8).sum())
+    return sum(vec)
+
+
+def dense_conflict(a: bytes, b: bytes) -> int:
+    """``sum over sets of min(a[r], b[r])`` over capped dense vectors.
+
+    Equal to :func:`conflict_kernel` on the corresponding sparse vectors
+    because both operands are pre-capped at the associativity.
+    """
+    if _OBS.enabled:
+        _OBS.metrics.counter("kernels.dense.conflict").inc()
+    np = numpy_backend()
+    if np is not None:
+        return int(
+            np.minimum(
+                np.frombuffer(a, dtype=np.uint8), np.frombuffer(b, dtype=np.uint8)
+            ).sum()
+        )
+    return sum(map(min, a, b))
+
+
+def dense_max_conflict(rows: bytes, vec: bytes) -> int:
+    """Max over the rows of a flat matrix of the min-sum against *vec*.
+
+    This is the whole Approach-4 path maximisation collapsed into one
+    call: *rows* stacks every path footprint of the preemptor
+    (:func:`dense_rows`), *vec* is the preemptee's useful-block vector,
+    and the result is ``max over paths of sum over sets of min(...)``.
+    """
+    width = len(vec)
+    if not rows or not width:
+        return 0
+    if _OBS.enabled:
+        _OBS.metrics.counter("kernels.dense.path_max").inc()
+    np = numpy_backend()
+    if np is not None:
+        matrix = np.frombuffer(rows, dtype=np.uint8).reshape(-1, width)
+        needle = np.frombuffer(vec, dtype=np.uint8)
+        return int(np.minimum(matrix, needle).sum(axis=1).max())
+    best = 0
+    for start in range(0, len(rows), width):
+        total = sum(map(min, rows[start : start + width], vec))
+        if total > best:
+            best = total
+    return best
+
+
+def dense_from_ciip_counts(
+    set_counts: SetCounts, num_sets: int, ways: int
+) -> Optional[bytes]:
+    """Dense vector for a CIIP's counts, or ``None`` when not representable."""
+    if ways > DENSE_MAX_WAYS:
+        return None
+    return dense_counts(set_counts, num_sets, ways)

@@ -10,6 +10,9 @@ Commands:
 * ``simulate``  — run the shared-cache scheduler and report ARTs.
 * ``sweep``     — batch-analyse a penalty × geometry grid on the warm
   worker pool with sub-artifact reuse (see ``docs/performance.md``).
+* ``whatif``    — incremental what-if re-analysis: load a base system
+  (``exp1``/``exp2`` or a fuzz spec JSON), apply single-field edits and
+  re-analyse only what each edit invalidated (see ``docs/performance.md``).
 * ``obs``       — observability utilities (``obs summarize trace.jsonl``).
 * ``fuzz``      — differential fuzzing campaign (``fuzz run``), single-case
   replay (``fuzz replay``) and counterexample minimization
@@ -300,6 +303,62 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_whatif_state(result) -> None:
+    verdicts = " ".join(
+        f"a{approach.value}={'ok' if result.schedulable(approach) else 'MISS'}"
+        for approach in sorted(result.wcrt)
+    )
+    invalidated = result.invalidated
+    print(
+        f"{result.label:28s} {verdicts}  "
+        f"{result.elapsed_seconds * 1e3:8.2f} ms  "
+        f"recomputed tasks={invalidated.get('task', 0)} "
+        f"pairs={invalidated.get('pair', 0)} "
+        f"wcrt={invalidated.get('wcrt', 0)} "
+        f"(warm-started {result.warm_started})  "
+        f"soundness={result.soundness}"
+    )
+
+
+def cmd_whatif(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis.whatif import WhatIfSession, parse_edit
+
+    base = args.base if args.base in ("exp1", "exp2") else _load_spec(args.base)
+    edits = [parse_edit(text) for text in (args.edit or [])]
+    states = []
+    with WhatIfSession(
+        base,
+        budget=_budget_from(args),
+        jobs=args.jobs,
+        store=_store_from(args),
+        path_engine="exact" if args.exact_paths else "dense",
+    ) as session:
+        result = session.result()
+        states.append(result)
+        _print_whatif_state(result)
+        _report_degradations_once(result)
+        for edit in edits:
+            result = session.apply(edit)
+            states.append(result)
+            _print_whatif_state(result)
+            _report_degradations_once(result)
+    if args.json:
+        path = Path(args.json)
+        path.write_text(
+            json.dumps([state.to_dict() for state in states], indent=2) + "\n"
+        )
+        print(f"wrote {path}")
+    return 0
+
+
+def _report_degradations_once(result) -> None:
+    for event in result.events:
+        print(f"repro: degraded {event.describe()}", file=sys.stderr)
+
+
 def cmd_obs_summarize(args: argparse.Namespace) -> int:
     from repro.obs.summary import summarize_trace
 
@@ -359,10 +418,16 @@ def cmd_fuzz_run(args: argparse.Namespace) -> int:
 def _load_spec(path: str):
     import json
 
+    from repro.errors import ConfigError
     from repro.fuzz.spec import SystemSpec
 
-    with open(path) as handle:
-        payload = json.load(handle)
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        raise ConfigError(f"cannot read spec {path!r}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise ConfigError(f"spec {path!r} is not valid JSON: {error}") from error
     # Accept both a bare spec and a corpus failure entry wrapping one.
     return SystemSpec.from_json(payload.get("spec", payload))
 
@@ -570,6 +635,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the full per-point results as JSON to FILE",
     )
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_whatif = sub.add_parser(
+        "whatif",
+        help="incremental what-if re-analysis of a base system under "
+        "single-field edits (see docs/performance.md)",
+    )
+    p_whatif.add_argument(
+        "--base", required=True, metavar="EXP|SPEC.json",
+        help="base system: 'exp1', 'exp2', or a fuzz SystemSpec JSON file",
+    )
+    p_whatif.add_argument(
+        "--edit", action="append", metavar="EDIT", default=None,
+        help="an edit to apply (repeatable, applied in order): penalty=N, "
+        "geometry=SETSxWAYSxLINE, period:TASK=N or array:TASK:INDEX=WORDS "
+        "(fuzz bases only)",
+    )
+    p_whatif.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write every analysed state (base + one per edit) as "
+        "JSON to FILE",
+    )
+    p_whatif.set_defaults(func=cmd_whatif)
 
     p_obs = sub.add_parser("obs", help="observability utilities")
     obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)

@@ -1,0 +1,339 @@
+"""Randomized equivalence of the incremental what-if engine.
+
+A :class:`~repro.analysis.whatif.WhatIfSession` promises that editing a
+live session is *observationally invisible*: after any chain of
+single-field edits, the state — WCETs, reload-line estimates, WCRT
+fixpoints, soundness verdicts and the degradation-ledger event stream —
+is byte-identical to a cold session constructed directly at the edited
+configuration.  These tests draw randomized systems and edit chains
+through the fuzz generator's :class:`~repro.fuzz.generator.Draw`
+protocol (seeded and platform-stable, like the campaign runner) and
+compare :meth:`WhatIfResult.signature` strings, which serialise all of
+the above canonically.
+
+The vectorized dense kernels ride the same suite: the ``bytes`` layout,
+the optional numpy backend and the sparse dict kernels must agree
+exactly on every draw (``min(a, b, L) == min(min(a, L), min(b, L))``
+makes the capped dense layout lossless).
+
+Case tally (the satellite demands >= 150 randomized cases):
+
+* ``WHATIF_DRAWS`` systems x ``EDITS_PER_CASE`` incremental-vs-cold
+  signature comparisons = 48 cases, plus 8 experiment-base comparisons,
+* ``KERNEL_DRAWS`` dense-vs-sparse kernel parity draws = 120 cases,
+* 40 bytes-vs-numpy backend parity draws.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.whatif import Edit, WhatIfSession
+from repro.cache.config import CacheConfig
+from repro.cache.kernels import (
+    DENSE_MAX_WAYS,
+    conflict_kernel,
+    dense_conflict,
+    dense_counts,
+    dense_from_ciip_counts,
+    dense_max_conflict,
+    dense_rows,
+    dense_usage,
+    numpy_backend,
+    set_numpy_backend,
+    usage_kernel,
+)
+from repro.fuzz.generator import ARRAY_WORDS, RandomDraw, draw_case, rng_for
+from repro.fuzz.spec import SystemSpec, replace_task
+
+try:
+    import numpy
+except ImportError:  # pragma: no cover - the container ships numpy
+    numpy = None
+
+needs_numpy = pytest.mark.skipif(numpy is None, reason="numpy unavailable")
+
+WHATIF_DRAWS = 24
+EDITS_PER_CASE = 2
+KERNEL_DRAWS = 120
+
+#: Small pools keep the randomized systems fast to analyse while still
+#: crossing geometry boundaries (sets up and down, ways 1..4).
+GEOMETRY_POOL = ((4, 1, 8), (8, 2, 8), (16, 2, 16), (32, 4, 32), (64, 2, 16))
+PENALTY_POOL = (5, 10, 20, 40)
+
+
+def draw_edit(d, spec: SystemSpec):
+    """One randomized single-field edit descriptor valid for *spec*.
+
+    Period edits are drawn as WCET multipliers and resolved against the
+    live session state (:func:`materialize`): ``TaskSpec`` rejects
+    periods below WCET + jitter as trivially unschedulable, so absolute
+    cycle counts cannot be drawn blind.  A multiplier of 1 yields the
+    tightest legal period (WCET + 1 cycle of slack), the edge where
+    response times brush the deadline.
+    """
+    kind = d.choice(("penalty", "geometry", "period", "array"))
+    if kind == "penalty":
+        return Edit(kind="penalty", value=d.choice(PENALTY_POOL))
+    if kind == "geometry":
+        return Edit(kind="geometry", value=d.choice(GEOMETRY_POOL))
+    task_index = d.integer(0, len(spec.tasks) - 1)
+    if kind == "period":
+        return ("period", f"t{task_index}", d.integer(1, 12))
+    arrays = spec.tasks[task_index].program.arrays
+    return Edit(
+        kind="array",
+        task=f"t{task_index}",
+        index=d.integer(0, len(arrays) - 1),
+        value=d.choice(ARRAY_WORDS),
+    )
+
+
+def materialize(edit, state) -> Edit:
+    """Resolve a period-multiplier descriptor against the current state."""
+    if isinstance(edit, Edit):
+        return edit
+    _, task, mult = edit
+    return Edit(kind="period", task=task, value=state.wcet[task] * mult + 1)
+
+
+def apply_to_reference(spec, config, overrides, edit: Edit):
+    """Fold *edit* into the cold-session constructor arguments.
+
+    Mirrors (independently) what the live session mutates, so the cold
+    reference is built from first principles, not from session state.
+    """
+    if edit.kind == "penalty":
+        return spec, replace(_effective(spec, config), miss_penalty=edit.value), overrides
+    if edit.kind == "geometry":
+        sets, ways, line = edit.value
+        return (
+            spec,
+            replace(
+                _effective(spec, config), num_sets=sets, ways=ways, line_size=line
+            ),
+            overrides,
+        )
+    if edit.kind == "period":
+        merged = dict(overrides)
+        merged[edit.task] = edit.value
+        return spec, config, merged
+    index = int(edit.task[1:])
+    task_def = spec.tasks[index]
+    arrays = list(task_def.program.arrays)
+    arrays[edit.index] = edit.value
+    program = replace(task_def.program, arrays=tuple(arrays))
+    return (
+        replace_task(spec, index, replace(task_def, program=program)),
+        config,
+        overrides,
+    )
+
+
+def _effective(spec: SystemSpec, config) -> CacheConfig:
+    if config is not None:
+        return config
+    cache = spec.cache
+    return CacheConfig(
+        num_sets=cache.num_sets,
+        ways=cache.ways,
+        line_size=cache.line_size,
+        miss_penalty=cache.miss_penalty,
+        policy=cache.policy,
+        write_back=cache.write_back,
+    )
+
+
+@pytest.fixture(scope="module")
+def whatif_cases() -> list[tuple[SystemSpec, list[Edit]]]:
+    draw = RandomDraw(rng_for(20040216, 1))
+    cases = []
+    for _ in range(WHATIF_DRAWS):
+        spec = draw_case(draw)
+        cases.append(
+            (spec, [draw_edit(draw, spec) for _ in range(EDITS_PER_CASE)])
+        )
+    return cases
+
+
+class TestIncrementalEquivalence:
+    def test_edited_sessions_match_cold_sessions(self, whatif_cases):
+        """Every incremental state is byte-identical — values *and*
+        replayed ledger events — to a from-scratch session."""
+        for spec, edits in whatif_cases:
+            with WhatIfSession(spec) as session:
+                state = session.result()  # analyse the base; edits run warm
+                ref_spec, ref_config, ref_overrides = spec, None, {}
+                for descriptor in edits:
+                    edit = materialize(descriptor, state)
+                    state = session.apply(edit)
+                    ref_spec, ref_config, ref_overrides = apply_to_reference(
+                        ref_spec, ref_config, ref_overrides, edit
+                    )
+                    with WhatIfSession(
+                        ref_spec,
+                        cache=ref_config,
+                        period_overrides=dict(ref_overrides),
+                    ) as cold_session:
+                        cold = cold_session.result()
+                    assert state.signature() == cold.signature(), (
+                        f"{edit.describe()} diverged from a cold session"
+                    )
+                    self._check_reuse(state, edit, len(ref_spec.tasks))
+
+    @staticmethod
+    def _check_reuse(state, edit: Edit, tasks: int) -> None:
+        """Sanity-check that incrementality actually happened: the
+        invalidation counters honour the edit-impact table."""
+        if edit.kind == "penalty":
+            for stage in ("trace", "sim", "flow", "paths"):
+                assert state.reused[stage] == tasks, (edit.describe(), stage)
+            assert state.invalidated["pair"] == 0
+        elif edit.kind == "geometry":
+            assert state.reused["trace"] == tasks
+            assert state.reused["paths"] == tasks
+        elif edit.kind == "period":
+            assert state.invalidated["task"] == 0
+            assert state.invalidated["pair"] == 0
+
+    def test_experiment_edit_chain_matches_cold_sessions(self):
+        """The paper experiments round-trip a penalty + period chain."""
+        for experiment in ("exp1", "exp2"):
+            with WhatIfSession(experiment) as session:
+                base = session.result()
+                task = base.periods and next(iter(base.periods))
+                doubled = base.periods[task] * 2
+                chain = [
+                    ("penalty=40", dict(miss_penalty=40)),
+                    (
+                        f"period:{task}={doubled}",
+                        dict(
+                            miss_penalty=40,
+                            period_overrides={task: doubled},
+                        ),
+                    ),
+                ]
+                for text, kwargs in chain:
+                    state = session.apply(text)
+                    with WhatIfSession(experiment, **kwargs) as cold_session:
+                        cold = cold_session.result()
+                    assert state.signature() == cold.signature(), (
+                        f"{experiment}: {text}"
+                    )
+                # The chain really ran incrementally, not as re-runs.
+                assert state.reused["trace"] > 0
+                assert state.elapsed_seconds < base.elapsed_seconds
+
+
+class TestDenseEngineParity:
+    def test_dense_engine_matches_auto_engine(self, whatif_cases):
+        """The vectorized Approach-4 path engine computes the same
+        bounds as the adaptive sparse engine (events excluded: engine
+        choice may legitimately log different telemetry)."""
+        for spec, _ in whatif_cases[:5]:
+            payloads = []
+            for engine in ("dense", "auto"):
+                with WhatIfSession(spec, path_engine=engine) as session:
+                    payload = session.result()._payload()
+                payload.pop("events")
+                payload.pop("soundness")
+                payloads.append(json.dumps(payload, sort_keys=True))
+            assert payloads[0] == payloads[1]
+
+
+def draw_sparse(d, num_sets: int) -> dict:
+    return {
+        index: d.integer(1, 7) for index in range(num_sets) if d.boolean()
+    }
+
+
+class TestDenseKernelParity:
+    def test_dense_kernels_match_sparse_kernels(self):
+        d = RandomDraw(rng_for(20040216, 2))
+        for _ in range(KERNEL_DRAWS):
+            num_sets = d.choice((1, 2, 4, 8, 16, 32))
+            ways = d.integer(1, 5)
+            a = draw_sparse(d, num_sets)
+            b = draw_sparse(d, num_sets)
+            da = dense_counts(a, num_sets, ways)
+            db = dense_counts(b, num_sets, ways)
+            assert len(da) == num_sets
+            assert dense_usage(da) == usage_kernel(a, ways)
+            assert dense_conflict(da, db) == conflict_kernel(a, b, ways)
+            sparse_rows = [
+                draw_sparse(d, num_sets) for _ in range(d.integer(0, 4))
+            ]
+            rows = dense_rows(
+                [dense_counts(row, num_sets, ways) for row in sparse_rows]
+            )
+            expected = max(
+                (conflict_kernel(row, b, ways) for row in sparse_rows),
+                default=0,
+            )
+            assert dense_max_conflict(rows, db) == expected
+
+    def test_wide_associativity_is_rejected_not_truncated(self):
+        assert dense_from_ciip_counts({0: 3}, 4, DENSE_MAX_WAYS) is not None
+        assert dense_from_ciip_counts({0: 3}, 4, DENSE_MAX_WAYS + 1) is None
+        with pytest.raises(ValueError):
+            dense_counts({0: 3}, 4, DENSE_MAX_WAYS + 1)
+
+
+@needs_numpy
+class TestNumpyBackendParity:
+    @pytest.fixture(autouse=True)
+    def _restore_backend(self):
+        yield
+        set_numpy_backend("auto")
+
+    def test_numpy_kernels_byte_identical_to_pure_python(self):
+        d = RandomDraw(rng_for(20040216, 3))
+        for _ in range(40):
+            num_sets = d.choice((1, 4, 16, 32))
+            ways = d.integer(1, 4)
+            da = dense_counts(draw_sparse(d, num_sets), num_sets, ways)
+            db = dense_counts(draw_sparse(d, num_sets), num_sets, ways)
+            rows = dense_rows(
+                [
+                    dense_counts(draw_sparse(d, num_sets), num_sets, ways)
+                    for _ in range(d.integer(0, 3))
+                ]
+            )
+            set_numpy_backend(None)
+            pure = (
+                dense_usage(da),
+                dense_conflict(da, db),
+                dense_max_conflict(rows, db),
+            )
+            set_numpy_backend(numpy)
+            assert (
+                dense_usage(da),
+                dense_conflict(da, db),
+                dense_max_conflict(rows, db),
+            ) == pure
+
+    def test_whatif_signature_identical_across_backends(self, whatif_cases):
+        spec, edits = whatif_cases[0]
+        signatures = []
+        for backend in (None, numpy):
+            set_numpy_backend(backend)
+            with WhatIfSession(spec) as session:
+                base = session.result()
+                edit = materialize(edits[0], base)
+                signatures.append(session.apply(edit).signature())
+        assert signatures[0] == signatures[1]
+
+    def test_env_flag_gates_the_backend(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NUMPY", raising=False)
+        set_numpy_backend("auto")
+        assert numpy_backend() is None
+        monkeypatch.setenv("REPRO_NUMPY", "1")
+        set_numpy_backend("auto")
+        assert numpy_backend() is numpy
+        monkeypatch.setenv("REPRO_NUMPY", "0")
+        set_numpy_backend("auto")
+        assert numpy_backend() is None
