@@ -49,6 +49,9 @@ WARM_SPEEDUP_GATE = 2.0  # CI fails below this, Experiment I only
 PARALLEL_SPEEDUP_GATE = 1.3  # warm-pool jobs=2 sweep vs per-call pools
 SWEEP_WARM_SPEEDUP_GATE = 3.0  # geometry grid: warm store vs recompute
 WHATIF_P50_GATE_SECONDS = 0.050  # single-edit re-analysis, warm, ROADMAP 2
+SERVE_P99_GATE_MS = 500.0  # submit-to-result, 16 clients on a warm grid
+SERVE_CLIENTS = 16
+SERVE_REQUESTS_PER_CLIENT = 4
 WARM_REPEATS = 3
 SWEEP_PENALTIES = (10, 20, 30, 40)
 SWEEP_GEOMETRIES = ((64, 4, 32), (128, 2, 32), (32, 4, 16))
@@ -293,6 +296,130 @@ def _bench_whatif(experiment):
     }
 
 
+def _bench_serve():
+    """Load-test the multi-tenant serve layer on a warm point grid.
+
+    16 concurrent clients × 4 requests against an
+    :class:`~repro.serve.service.AnalysisService` (workers=4) sharing one
+    pre-warmed store: p50/p99 submit-to-result latency, throughput, and
+    two correctness counters the gates watch — non-byte-identical
+    responses (must be 0, vs directly computed references) and sheds
+    (must be 0 while the queue has capacity for the whole burst; a
+    second pass with a capacity-2 queue and a wedged worker demonstrates
+    shedding *does* engage once capacity is exceeded).
+    """
+    import random
+    import threading
+    from statistics import median
+
+    from repro.batch.engine import SweepPoint, analyze_batch
+    from repro.experiments.setup import ALL_SPECS
+    from repro.serve.protocol import canonical_json, point_payload
+    from repro.serve.service import AnalysisService
+
+    bodies = [
+        {"kind": "point", "experiment": "exp1", "miss_penalty": p}
+        for p in (10, 20, 40)
+    ] + [{"kind": "point", "experiment": "exp2", "miss_penalty": 20}]
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = pathlib.Path(tmp)
+        expected = {}
+        specs = {s.key: s for s in ALL_SPECS}
+        for body in bodies:  # warm the store + compute references
+            point = SweepPoint(
+                experiment=body["experiment"],
+                miss_penalty=body["miss_penalty"],
+            )
+            batch = analyze_batch([point], store=ArtifactStore(directory))
+            expected[canonical_json(body)] = canonical_json(
+                point_payload(
+                    batch.results[0],
+                    periods=specs[body["experiment"]].periods,
+                )
+            )
+
+        total = SERVE_CLIENTS * SERVE_REQUESTS_PER_CLIENT
+        service = AnalysisService(
+            workers=4,
+            queue_capacity=total,
+            store=ArtifactStore(directory),
+        )
+        latencies: list = []
+        mismatches = [0]
+        lock = threading.Lock()
+
+        def client(index):
+            rng = random.Random(1000 + index)
+            for _ in range(SERVE_REQUESTS_PER_CLIENT):
+                body = rng.choice(bodies)
+                started = perf_counter()
+                job = service.submit(body, client=f"bench-{index}")
+                service.wait(job.id, timeout=300)
+                elapsed = perf_counter() - started
+                env = service.job_envelope(job)
+                with lock:
+                    latencies.append(elapsed)
+                    if (
+                        env["state"] != "done"
+                        or canonical_json(env["result"])
+                        != expected[canonical_json(body)]
+                    ):
+                        mismatches[0] += 1
+
+        with service:
+            started = perf_counter()
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(SERVE_CLIENTS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall_seconds = perf_counter() - started
+            shed_under_capacity = service.stats()["shed"]
+
+        # Shedding engages exactly when capacity is exceeded: one wedged
+        # worker, a 2-slot queue, 4 concurrent submits -> 1 shed.
+        started_event = threading.Event()
+        gate = threading.Event()
+
+        def wedge(job):
+            started_event.set()
+            gate.wait(timeout=60)
+
+        overload = AnalysisService(
+            workers=1,
+            queue_capacity=2,
+            store=ArtifactStore(directory),
+            job_hook=wedge,
+        )
+        with overload:
+            statuses = [overload.submit_envelope(bodies[0])[0]]
+            started_event.wait(timeout=60)
+            for _ in range(3):
+                statuses.append(overload.submit_envelope(bodies[0])[0])
+            gate.set()
+            shed_over_capacity = overload.stats()["shed"]
+
+    latencies.sort()
+    p50_ms = median(latencies) * 1e3
+    p99_ms = latencies[int(0.99 * (len(latencies) - 1))] * 1e3
+    return {
+        "clients": SERVE_CLIENTS,
+        "requests": total,
+        "workers": 4,
+        "p50_ms": round(p50_ms, 3),
+        "p99_ms": round(p99_ms, 3),
+        "wall_seconds": round(wall_seconds, 4),
+        "requests_per_sec": round(total / wall_seconds, 1),
+        "mismatches": mismatches[0],
+        "shed_under_capacity": shed_under_capacity,
+        "overload_statuses": statuses,
+        "shed_over_capacity": shed_over_capacity,
+    }
+
+
 def test_perf_engine():
     results = {
         "bench": "perf_engine",
@@ -301,6 +428,7 @@ def test_perf_engine():
             "exp1_parallel_speedup_min": PARALLEL_SPEEDUP_GATE,
             "sweep_warm_speedup_min": SWEEP_WARM_SPEEDUP_GATE,
             "whatif_warm_p50_max_ms": WHATIF_P50_GATE_SECONDS * 1e3,
+            "serve_p99_max_ms": SERVE_P99_GATE_MS,
         },
         "exp1": _bench_experiment(EXPERIMENT_I_SPEC),
         "exp2": _bench_experiment(EXPERIMENT_II_SPEC),
@@ -314,6 +442,7 @@ def test_perf_engine():
             "exp1": _bench_whatif("exp1"),
             "exp2": _bench_whatif("exp2"),
         },
+        "serve": _bench_serve(),
     }
     # The metrics the gates (and scripts/bench_gate_diff.py) watch.
     # ``whatif_edits_per_sec`` is the p50 edit latency inverted so the
@@ -328,6 +457,7 @@ def test_perf_engine():
         "whatif_edits_per_sec": min(
             results["whatif"][key]["edits_per_sec"] for key in ("exp1", "exp2")
         ),
+        "serve_requests_per_sec": results["serve"]["requests_per_sec"],
     }
     (REPO_ROOT / "BENCH_perf.json").write_text(
         json.dumps(results, indent=2) + "\n"
@@ -364,6 +494,16 @@ def test_perf_engine():
             f"{r['edits']} warm edits p50 {r['warm_p50_ms']:.2f} ms / "
             f"max {r['warm_max_ms']:.2f} ms ({r['edits_per_sec']} edits/s)"
         )
+    serve = results["serve"]
+    lines.append(
+        f"serve: {serve['clients']} clients x "
+        f"{serve['requests'] // serve['clients']} warm requests, "
+        f"p50 {serve['p50_ms']:.1f} ms / p99 {serve['p99_ms']:.1f} ms, "
+        f"{serve['requests_per_sec']} req/s, "
+        f"{serve['mismatches']} mismatches, "
+        f"{serve['shed_under_capacity']} shed (overload pass: "
+        f"{serve['shed_over_capacity']} shed)"
+    )
     bomb = results["path_bomb"]
     lines.append(
         f"path bomb: {bomb['feasible_paths']} paths "
@@ -398,3 +538,20 @@ def test_perf_engine():
             f"{WHATIF_P50_GATE_SECONDS * 1e3:.0f} ms interactive gate "
             f"(see BENCH_perf.json)"
         )
+    # Serve gates: p99 under the latency ceiling, every response
+    # byte-identical, shedding only once queue capacity is exceeded.
+    assert serve["p99_ms"] < SERVE_P99_GATE_MS, (
+        f"serve p99 {serve['p99_ms']} ms breaches the "
+        f"{SERVE_P99_GATE_MS:.0f} ms gate (see BENCH_perf.json)"
+    )
+    assert serve["mismatches"] == 0, (
+        f"{serve['mismatches']} served responses diverged from the "
+        "direct analyze_batch references"
+    )
+    assert serve["shed_under_capacity"] == 0, (
+        "service shed requests while the queue had capacity"
+    )
+    assert serve["overload_statuses"] == [202, 202, 202, 429], (
+        f"overload pass admitted/shed wrongly: {serve['overload_statuses']}"
+    )
+    assert serve["shed_over_capacity"] == 1

@@ -63,6 +63,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -416,6 +417,13 @@ class ArtifactStore:
 
     Statistics are kept per instance — overall and per kind — so
     benchmarks and tests can assert hit/miss behaviour precisely.
+
+    Instances are thread-safe: the serve daemon (and the warm pool's
+    serial path under it) share one store across request-handler and
+    worker threads, so the memory-LRU mutation (``move_to_end`` +
+    eviction), the corrupt/stale delete-on-get, and every statistic
+    update happen under one reentrant lock.  The lock is per instance
+    and never pickled (worker processes rebuild their own).
     """
 
     directory: Optional[Path] = None
@@ -431,6 +439,16 @@ class ArtifactStore:
     hits_by_kind: dict = field(default_factory=dict, repr=False)
     misses_by_kind: dict = field(default_factory=dict, repr=False)
     _memory: "OrderedDict[str, Any]" = field(default_factory=OrderedDict, repr=False)
+    _lock: Any = field(default_factory=threading.RLock, repr=False, compare=False)
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        del state["_lock"]  # locks don't pickle; workers make their own
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     @property
     def gets(self) -> int:
@@ -454,55 +472,57 @@ class ArtifactStore:
             return None
         if _OBS.enabled:
             _OBS.metrics.counter("store.gets").inc()
-        payload = self._memory.get(key)
-        if payload is not None:
-            self._memory.move_to_end(key)
-            return self._hit(payload, kind, tier="memory")
-        path = None if memory_only else self._path_for(key)
-        if path is not None and path.exists():
-            raw = None
-            try:
-                raw = path.read_bytes()
-                entry = pickle.loads(raw)
-            except Exception:
-                entry = None  # unreadable bytes: corrupt, treat as a miss
-            if (
-                isinstance(entry, StoredEntry)
-                and entry.schema == SCHEMA_VERSION
-                and entry.kind == kind
-            ):
-                self._remember(key, entry.payload)
-                self.bytes_read += len(raw)
-                if _OBS.enabled:
-                    _OBS.metrics.counter("store.bytes_read").inc(len(raw))
-                return self._hit(entry.payload, kind, tier="disk")
-            if entry is not None:
-                # The file unpickled but is not a current-schema entry of
-                # this kind: a schema-1 monolith, a foreign pickle, or a
-                # kind collision.  Stale, not corrupt — count it apart so
-                # migrations are visible, then delete so the slot heals.
-                self.stale += 1
-                if _OBS.enabled:
-                    _OBS.metrics.counter("store.stale").inc()
-                    _OBS.tracer.event("store.stale", key=key, kind=kind)
-            else:
-                # Truncated write, bit rot: delete so the slot is
-                # rewritten on the next put instead of failing every
-                # lookup.
-                self.corrupt += 1
-                if _OBS.enabled:
-                    _OBS.metrics.counter("store.corrupt").inc()
-                    _OBS.tracer.event("store.corrupt", key=key)
-            try:
-                path.unlink()
-            except OSError:
-                pass  # unreadable *and* undeletable: still just a miss
-        self.misses += 1
-        self.misses_by_kind[kind] = self.misses_by_kind.get(kind, 0) + 1
-        if _OBS.enabled:
-            _OBS.metrics.counter("store.misses").inc()
-            _OBS.metrics.counter(f"store.misses.kind.{kind}").inc()
-        return None
+        with self._lock:
+            payload = self._memory.get(key)
+            if payload is not None:
+                self._memory.move_to_end(key)
+                return self._hit(payload, kind, tier="memory")
+            path = None if memory_only else self._path_for(key)
+            if path is not None and path.exists():
+                raw = None
+                try:
+                    raw = path.read_bytes()
+                    entry = pickle.loads(raw)
+                except Exception:
+                    entry = None  # unreadable bytes: corrupt, treat as a miss
+                if (
+                    isinstance(entry, StoredEntry)
+                    and entry.schema == SCHEMA_VERSION
+                    and entry.kind == kind
+                ):
+                    self._remember(key, entry.payload)
+                    self.bytes_read += len(raw)
+                    if _OBS.enabled:
+                        _OBS.metrics.counter("store.bytes_read").inc(len(raw))
+                    return self._hit(entry.payload, kind, tier="disk")
+                if entry is not None:
+                    # The file unpickled but is not a current-schema entry
+                    # of this kind: a schema-1 monolith, a foreign pickle,
+                    # or a kind collision.  Stale, not corrupt — count it
+                    # apart so migrations are visible, then delete so the
+                    # slot heals.
+                    self.stale += 1
+                    if _OBS.enabled:
+                        _OBS.metrics.counter("store.stale").inc()
+                        _OBS.tracer.event("store.stale", key=key, kind=kind)
+                else:
+                    # Truncated write, bit rot: delete so the slot is
+                    # rewritten on the next put instead of failing every
+                    # lookup.
+                    self.corrupt += 1
+                    if _OBS.enabled:
+                        _OBS.metrics.counter("store.corrupt").inc()
+                        _OBS.tracer.event("store.corrupt", key=key)
+                try:
+                    path.unlink()
+                except OSError:
+                    pass  # unreadable *and* undeletable: still just a miss
+            self.misses += 1
+            self.misses_by_kind[kind] = self.misses_by_kind.get(kind, 0) + 1
+            if _OBS.enabled:
+                _OBS.metrics.counter("store.misses").inc()
+                _OBS.metrics.counter(f"store.misses.kind.{kind}").inc()
+            return None
 
     def _hit(self, payload, kind: str, tier: str):
         self.hits += 1
@@ -522,45 +542,50 @@ class ArtifactStore:
             return
         if _OBS.enabled:
             _OBS.metrics.counter("store.puts").inc()
-        self._remember(key, payload)
-        path = None if memory_only else self._path_for(key)
-        if path is None:
-            return
-        try:
-            raw = pickle.dumps(
-                StoredEntry(schema=SCHEMA_VERSION, kind=kind, payload=payload),
-                protocol=pickle.HIGHEST_PROTOCOL,
-            )
-            path.parent.mkdir(parents=True, exist_ok=True)
-            handle = tempfile.NamedTemporaryFile(
-                mode="wb", dir=str(path.parent), delete=False
-            )
+        with self._lock:
+            self._remember(key, payload)
+            path = None if memory_only else self._path_for(key)
+            if path is None:
+                return
             try:
-                with handle:
-                    handle.write(raw)
-                os.replace(handle.name, path)
-            except BaseException:
-                os.unlink(handle.name)
-                raise
-            self.bytes_written += len(raw)
-            if _OBS.enabled:
-                _OBS.metrics.counter("store.bytes_written").inc(len(raw))
-        except OSError:
-            pass  # disk cache is best-effort; the result is still returned
+                raw = pickle.dumps(
+                    StoredEntry(schema=SCHEMA_VERSION, kind=kind, payload=payload),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+                path.parent.mkdir(parents=True, exist_ok=True)
+                handle = tempfile.NamedTemporaryFile(
+                    mode="wb", dir=str(path.parent), delete=False
+                )
+                try:
+                    with handle:
+                        handle.write(raw)
+                    os.replace(handle.name, path)
+                except BaseException:
+                    os.unlink(handle.name)
+                    raise
+                self.bytes_written += len(raw)
+                if _OBS.enabled:
+                    _OBS.metrics.counter("store.bytes_written").inc(len(raw))
+            except OSError:
+                pass  # disk cache is best-effort; the result is still returned
 
     def _remember(self, key: str, payload) -> None:
-        memory = self._memory
-        memory[key] = payload
-        memory.move_to_end(key)
-        while len(memory) > self.memory_slots:
-            memory.popitem(last=False)
-            self.evictions += 1
-            if _OBS.enabled:
-                _OBS.metrics.counter("store.evictions").inc()
+        # Callers hold self._lock (get/put); the reentrant lock makes the
+        # direct internal calls cheap to keep symmetric.
+        with self._lock:
+            memory = self._memory
+            memory[key] = payload
+            memory.move_to_end(key)
+            while len(memory) > self.memory_slots:
+                memory.popitem(last=False)
+                self.evictions += 1
+                if _OBS.enabled:
+                    _OBS.metrics.counter("store.evictions").inc()
 
     def clear_memory(self) -> None:
         """Drop the in-process LRU (disk entries survive)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
 
 
 _DEFAULT_STORE: Optional[ArtifactStore] = None

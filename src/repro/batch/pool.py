@@ -38,6 +38,7 @@ import os
 import pickle
 import shutil
 import tempfile
+import threading
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -92,6 +93,10 @@ class WarmPool:
         self._contexts: dict[str, tuple[Path, Any]] = {}
         self._serial = self.jobs <= 1
         self._closed = False
+        # The serve daemon shares one pool across handler threads; seed
+        # dedup, the context registry and the counters go under a lock
+        # (map's serial path itself runs outside it, concurrently).
+        self._lock = threading.RLock()
         #: Tasks executed through this pool (parallel or serial path).
         self.tasks = 0
         #: Tasks served by a worker whose context was already warm.
@@ -112,18 +117,19 @@ class WarmPool:
             raise RuntimeError("pool is closed")
         raw = pickle.dumps(context, protocol=pickle.HIGHEST_PROTOCOL)
         token = hashlib.sha256(raw).hexdigest()[:24]
-        if token not in self._contexts:
-            path = self._spool() / f"{token}.ctx"
-            with tempfile.NamedTemporaryFile(
-                mode="wb", dir=str(path.parent), delete=False
-            ) as handle:
-                handle.write(raw)
-            os.replace(handle.name, path)
-            self.ship_bytes += len(raw)
-            if _OBS.enabled:
-                _OBS.metrics.counter("batch.pool.ship_bytes").inc(len(raw))
-                _OBS.metrics.counter("batch.pool.contexts").inc()
-            self._contexts[token] = (path, context)
+        with self._lock:
+            if token not in self._contexts:
+                path = self._spool() / f"{token}.ctx"
+                with tempfile.NamedTemporaryFile(
+                    mode="wb", dir=str(path.parent), delete=False
+                ) as handle:
+                    handle.write(raw)
+                os.replace(handle.name, path)
+                self.ship_bytes += len(raw)
+                if _OBS.enabled:
+                    _OBS.metrics.counter("batch.pool.ship_bytes").inc(len(raw))
+                    _OBS.metrics.counter("batch.pool.contexts").inc()
+                self._contexts[token] = (path, context)
         return token
 
     def map(
@@ -146,7 +152,8 @@ class WarmPool:
             raise KeyError(f"unknown context token {context!r}")
         if not items:
             return []
-        self.tasks += len(items)
+        with self._lock:
+            self.tasks += len(items)
         if _OBS.enabled:
             _OBS.metrics.counter("batch.pool.tasks").inc(len(items))
         if not self._serial:
@@ -166,7 +173,8 @@ class WarmPool:
         results = []
         for warm, result in executor.map(_worker_call, work):
             if warm:
-                self.reuse += 1
+                with self._lock:
+                    self.reuse += 1
                 if _OBS.enabled:
                     _OBS.metrics.counter("batch.pool.reuse").inc()
             results.append(result)
@@ -179,31 +187,42 @@ class WarmPool:
         return [fn(value, item) for item in items]
 
     def _fall_back(self, error: BaseException) -> None:
-        self._serial = True
-        self.fallbacks += 1
+        with self._lock:
+            self._serial = True
+            self.fallbacks += 1
+            executor, self._executor = self._executor, None
         if _OBS.enabled:
             _OBS.metrics.counter("batch.pool.fallbacks").inc()
             _OBS.tracer.event(
                 "batch.pool.fallback",
                 reason=f"{type(error).__name__}: {error}",
             )
-        if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
-            self._executor = None
+        if executor is not None:
+            # No cancel_futures here: on 3.11 terminate_broken() calls
+            # set_exception() on every pending future *before* it
+            # terminates the workers, so cancelling those futures from
+            # this thread makes it raise InvalidStateError mid-loop —
+            # workers never get reaped and interpreter exit hangs
+            # joining the wedged manager thread.  The broken-pool
+            # machinery fails pending futures and kills workers itself.
+            executor.shutdown(wait=False)
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
-            if _OBS.enabled:
-                _OBS.metrics.counter("batch.pool.starts").inc()
-        return self._executor
+        with self._lock:
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+                if _OBS.enabled:
+                    _OBS.metrics.counter("batch.pool.starts").inc()
+            return self._executor
 
     def _spool(self) -> Path:
-        if self._spool_dir is None:
-            self._spool_dir = Path(
-                tempfile.mkdtemp(prefix="repro-warmpool-")
-            )
-        return self._spool_dir
+        # Callers hold self._lock (seed); reentrant, so direct use works.
+        with self._lock:
+            if self._spool_dir is None:
+                self._spool_dir = Path(
+                    tempfile.mkdtemp(prefix="repro-warmpool-")
+                )
+            return self._spool_dir
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -234,6 +253,13 @@ class WarmPool:
 _CONTEXT_CACHE: "OrderedDict[str, Any]" = OrderedDict()
 _DERIVED_CACHE: "OrderedDict[tuple[str, str], Any]" = OrderedDict()
 _CONTEXT_IDS: dict[int, str] = {}
+
+#: Guards the three module caches above.  Worker processes are
+#: single-threaded, but the serial path runs in the caller's threads —
+#: under the serve daemon, several at once against one shared context.
+#: Held across ``derived`` factories so concurrent callers observe one
+#: derived instance per (context, name), never two racing halves.
+_WORKER_LOCK = threading.RLock()
 
 #: Derived-state entries kept per process; see :func:`derived`.  Bounds
 #: the serial path too, where contexts come and go with their pools.
@@ -274,13 +300,14 @@ def _worker_call(work: tuple) -> tuple[bool, Any]:
 
 
 def _remember_context(token: str, context: Any) -> None:
-    _CONTEXT_CACHE[token] = context
-    _CONTEXT_IDS[id(context)] = token
-    while len(_CONTEXT_CACHE) > _WORKER_CONTEXT_SLOTS:
-        evicted_token, evicted = _CONTEXT_CACHE.popitem(last=False)
-        _CONTEXT_IDS.pop(id(evicted), None)
-        for key in [k for k in _DERIVED_CACHE if k[0] == evicted_token]:
-            del _DERIVED_CACHE[key]
+    with _WORKER_LOCK:
+        _CONTEXT_CACHE[token] = context
+        _CONTEXT_IDS[id(context)] = token
+        while len(_CONTEXT_CACHE) > _WORKER_CONTEXT_SLOTS:
+            evicted_token, evicted = _CONTEXT_CACHE.popitem(last=False)
+            _CONTEXT_IDS.pop(id(evicted), None)
+            for key in [k for k in _DERIVED_CACHE if k[0] == evicted_token]:
+                del _DERIVED_CACHE[key]
 
 
 def derived(context: Any, name: str, factory: Callable[[], Any]) -> Any:
@@ -298,16 +325,17 @@ def derived(context: Any, name: str, factory: Callable[[], Any]) -> Any:
     identity on the serial path (where the context object is long-lived
     in the caller), so warm and serial execution share the semantics.
     """
-    token = _CONTEXT_IDS.get(id(context))
-    if token is None:
-        token = f"local-{id(context):x}"
-    key = (token, name)
-    value = _DERIVED_CACHE.get(key)
-    if value is None:
-        value = factory()
-        _DERIVED_CACHE[key] = value
-        while len(_DERIVED_CACHE) > _DERIVED_SLOTS:
-            _DERIVED_CACHE.popitem(last=False)
-    else:
-        _DERIVED_CACHE.move_to_end(key)
-    return value
+    with _WORKER_LOCK:
+        token = _CONTEXT_IDS.get(id(context))
+        if token is None:
+            token = f"local-{id(context):x}"
+        key = (token, name)
+        value = _DERIVED_CACHE.get(key)
+        if value is None:
+            value = factory()
+            _DERIVED_CACHE[key] = value
+            while len(_DERIVED_CACHE) > _DERIVED_SLOTS:
+                _DERIVED_CACHE.popitem(last=False)
+        else:
+            _DERIVED_CACHE.move_to_end(key)
+        return value

@@ -17,6 +17,9 @@ Commands:
 * ``fuzz``      — differential fuzzing campaign (``fuzz run``), single-case
   replay (``fuzz replay``) and counterexample minimization
   (``fuzz shrink``); see ``docs/fuzzing.md``.
+* ``serve``     — long-lived multi-tenant analysis daemon over the warm
+  pool: ``POST /v1/analyze``, ``GET /v1/jobs/<id>``, ``POST /v1/compare``,
+  per-client quotas and graceful shedding (see ``docs/serving.md``).
 
 Every analysis command runs *guarded* (see ``docs/robustness.md``):
 budgets are enforced, budget trips degrade to sound conservative bounds
@@ -493,6 +496,27 @@ def cmd_fuzz_shrink(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.daemon import run_daemon
+    from repro.serve.quota import QuotaConfig
+    from repro.serve.service import AnalysisService
+
+    service = AnalysisService(
+        workers=args.serve_workers,
+        queue_capacity=args.queue_capacity,
+        quota=QuotaConfig(
+            capacity=args.quota_capacity,
+            refill_per_second=args.quota_refill,
+        ),
+        store=_store_from(args),
+        budget=_budget_from(args),
+        path_engine=_engine_from(args),
+    )
+    return run_daemon(
+        args.host, args.port, service, verbose=args.verbose
+    )
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     from repro.experiments.validation import validate_reproduction
 
@@ -729,6 +753,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for spec/repro-script/pytest-stub artifacts",
     )
     p_fz_shrink.set_defaults(func=cmd_fuzz_shrink)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="multi-tenant analysis daemon on the warm pool "
+        "(see docs/serving.md)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8642,
+        help="bind port; 0 lets the OS pick, the bound port is printed "
+        "(default: 8642)",
+    )
+    p_serve.add_argument(
+        "--serve-workers", type=int, default=2, metavar="N",
+        help="analysis worker threads draining the job queue (default: 2)",
+    )
+    p_serve.add_argument(
+        "--queue-capacity", type=int, default=16, metavar="N",
+        help="bounded job queue depth; submissions beyond it are shed "
+        "with 429 (default: 16)",
+    )
+    p_serve.add_argument(
+        "--quota-capacity", type=int, default=0, metavar="N",
+        help="per-client token-bucket burst; 0 disables quotas "
+        "(default: 0)",
+    )
+    p_serve.add_argument(
+        "--quota-refill", type=float, default=4.0, metavar="PER_SEC",
+        help="per-client token refill rate (default: 4/s)",
+    )
+    p_serve.add_argument(
+        "--verbose", action="store_true",
+        help="log one stderr line per handled HTTP request",
+    )
+    p_serve.set_defaults(func=cmd_serve)
     return parser
 
 

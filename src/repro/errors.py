@@ -1,9 +1,10 @@
 """Structured error taxonomy for the whole analysis pipeline.
 
-Every failure mode the analyzer can hit maps onto one of four branches
-under a common :class:`ReproError` root, so callers (and the CLI) can
-distinguish *bad input* from *blown budget* from *non-converging math*
-from *simulation trouble* without string-matching messages:
+Every failure mode the analyzer can hit maps onto a branch under a
+common :class:`ReproError` root, so callers (the CLI, the serve daemon)
+can distinguish *bad input* from *blown budget* from *non-converging
+math* from *simulation trouble* from *admission control* without
+string-matching messages:
 
 * :class:`ConfigError` — invalid input or configuration (bad cache
   geometry, inconsistent task set, degenerate program).  Also a
@@ -16,9 +17,15 @@ from *simulation trouble* without string-matching messages:
   iteration budget without converging (typically utilization > 1).
 * :class:`SimulationError` — the cycle-level scheduler simulation could
   not complete (step/event budget exhausted, runaway job).
+* :class:`QuotaExceeded` / :class:`ShedError` — the serve layer's
+  admission control: a client's token bucket ran dry, or the bounded job
+  queue was full and the request was shed before any work started.
 
 Each class carries an ``exit_code`` used by the CLI so scripts can branch
-on the failure kind.
+on the failure kind; :func:`error_kind` maps an instance to its branch
+tag (``"config"``, ``"budget"``, ..., ``"quota"``, ``"shed"``), which the
+serve layer in turn maps onto HTTP status codes
+(:data:`repro.serve.protocol.STATUS_BY_KIND`).
 """
 
 from __future__ import annotations
@@ -88,6 +95,51 @@ class SimulationError(ReproError, RuntimeError):
     exit_code = 5
 
 
+class QuotaExceeded(ReproError, RuntimeError):
+    """A client exhausted its per-client admission quota (serve layer).
+
+    Raised by the token-bucket admission check in :mod:`repro.serve`
+    before any analysis work is queued; maps to HTTP 429 with
+    ``error_kind == "quota"`` so clients can distinguish "slow down"
+    (retry after the bucket refills) from a shed (queue full).
+
+    Attributes:
+        client: the client identity whose bucket was empty.
+        retry_after_seconds: time until one token becomes available.
+    """
+
+    exit_code = 6
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        client: str = "",
+        retry_after_seconds: float = 0.0,
+    ):
+        super().__init__(message)
+        self.client = client
+        self.retry_after_seconds = retry_after_seconds
+
+
+class ShedError(ReproError, RuntimeError):
+    """The serve job queue was full (or draining) and the job was shed.
+
+    Graceful load shedding: the request was rejected *before* consuming
+    analysis resources.  Maps to HTTP 429 with ``error_kind == "shed"``.
+
+    Attributes:
+        capacity: the queue bound that was hit (0 when shedding because
+            the service is shutting down rather than full).
+    """
+
+    exit_code = 7
+
+    def __init__(self, message: str, *, capacity: int = 0):
+        super().__init__(message)
+        self.capacity = capacity
+
+
 #: kind tags keyed by the taxonomy branch (first ReproError ancestor).
 _KIND_NAMES = {
     ReproError: "error",
@@ -95,6 +147,8 @@ _KIND_NAMES = {
     BudgetExceeded: "budget",
     DivergenceError: "divergence",
     SimulationError: "simulation",
+    QuotaExceeded: "quota",
+    ShedError: "shed",
 }
 
 

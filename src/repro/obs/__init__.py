@@ -36,6 +36,11 @@ from repro.obs.profile import (
     profiled,
     uninstall,
 )
+from repro.obs.scope import (
+    ScopedMetrics,
+    ScopedTracer,
+    scope_pair,
+)
 from repro.obs.trace import (
     NULL_TRACER,
     SPAN_RECORD_KEYS,
@@ -57,9 +62,12 @@ __all__ = [
     "NullMetrics",
     "STATE",
     "ObsState",
+    "ScopedMetrics",
+    "ScopedTracer",
     "install",
     "observed",
     "profiled",
+    "scope_pair",
     "uninstall",
     "NULL_TRACER",
     "SPAN_RECORD_KEYS",

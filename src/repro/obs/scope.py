@@ -1,0 +1,157 @@
+"""Request-scoped observability routing for multi-tenant servers.
+
+The instrumentation contract throughout this package is a process-wide
+singleton: every instrumented call site reads :data:`repro.obs.STATE`
+(bound once at import time as ``_OBS``).  That is exactly right for a
+CLI — one process, one request — and exactly wrong for the serve daemon,
+where many requests run concurrently in one process and each response
+must report *its own* trace and store hit/miss counters, not a blur of
+everyone's.
+
+:class:`ScopedTracer` and :class:`ScopedMetrics` square that circle
+without touching a single instrumented call site.  Each is installed
+*as* ``STATE.tracer`` / ``STATE.metrics`` and routes every operation to
+the top of a per-thread override stack — the request-scoped
+:class:`~repro.obs.trace.Tracer` / :class:`~repro.obs.metrics.Metrics`
+pushed by the serve worker around a job — falling through to a shared
+server-level sink when the current thread has no override.  Because the
+serve layer runs each job in exactly one worker thread (the pool is held
+at ``jobs=1`` → serial in-thread execution), a thread-local stack is a
+faithful request boundary.
+
+After a job finishes, the serve layer *merges* the request view into the
+server view (span adoption under a ``serve.request`` span, counter-wise
+metric merge), so ``--trace-out`` / ``--metrics-out`` on the daemon
+still export one coherent whole-process picture — the same property the
+worker-process adoption path has always had.
+
+Spans opened on a scope never leak across its boundary: an
+:class:`~repro.obs.trace.ActiveSpan` binds its concrete tracer at
+creation, so a span opened while an override was active records into
+that override even if it closes after the pop (it cannot happen in the
+serve layer, which pushes and pops around the whole job, but the
+invariant makes the primitive safe in general).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.obs.metrics import DEFAULT_BUCKETS, Metrics
+from repro.obs.trace import Tracer
+
+__all__ = ["ScopedTracer", "ScopedMetrics", "scope_pair"]
+
+
+class ScopedTracer:
+    """A tracer facade that routes to a per-thread override or a fallback.
+
+    Implements the full :class:`~repro.obs.trace.Tracer` surface the
+    instrumented call sites use (``span``/``event``/``current_span``)
+    plus the export/adopt surface the CLI uses, delegating everything to
+    :meth:`current`.
+    """
+
+    enabled = True
+
+    def __init__(self, fallback: Optional[Tracer] = None):
+        self.fallback = fallback if fallback is not None else Tracer()
+        self._local = threading.local()
+
+    # -- scope management ----------------------------------------------
+    def _overrides(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def push(self, tracer: Tracer) -> Tracer:
+        """Route this thread's subsequent operations to *tracer*."""
+        self._overrides().append(tracer)
+        return tracer
+
+    def pop(self) -> Tracer:
+        """Undo the innermost :meth:`push` on this thread."""
+        return self._overrides().pop()
+
+    def current(self) -> Tracer:
+        """The tracer operations on this thread resolve to right now."""
+        stack = self._overrides()
+        return stack[-1] if stack else self.fallback
+
+    # -- Tracer surface ------------------------------------------------
+    def span(self, name: str, **attrs):
+        return self.current().span(name, **attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        self.current().event(name, **attrs)
+
+    def current_span(self):
+        return self.current().current_span()
+
+    def adopt(self, records, parent_id=None) -> int:
+        return self.current().adopt(records, parent_id)
+
+    def export_jsonl(self, path) -> int:
+        return self.current().export_jsonl(path)
+
+    @property
+    def records(self):
+        return self.current().records
+
+
+class ScopedMetrics:
+    """A metrics facade that routes to a per-thread override or a fallback."""
+
+    def __init__(self, fallback: Optional[Metrics] = None):
+        self.fallback = fallback if fallback is not None else Metrics()
+        self._local = threading.local()
+
+    # -- scope management ----------------------------------------------
+    def _overrides(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def push(self, metrics: Metrics) -> Metrics:
+        """Route this thread's subsequent operations to *metrics*."""
+        self._overrides().append(metrics)
+        return metrics
+
+    def pop(self) -> Metrics:
+        """Undo the innermost :meth:`push` on this thread."""
+        return self._overrides().pop()
+
+    def current(self) -> Metrics:
+        """The metrics operations on this thread resolve to right now."""
+        stack = self._overrides()
+        return stack[-1] if stack else self.fallback
+
+    # -- Metrics surface -----------------------------------------------
+    def counter(self, name: str):
+        return self.current().counter(name)
+
+    def gauge(self, name: str):
+        return self.current().gauge(name)
+
+    def histogram(self, name: str, bounds=DEFAULT_BUCKETS):
+        return self.current().histogram(name, bounds)
+
+    def to_dict(self) -> dict:
+        return self.current().to_dict()
+
+    def merge(self, snapshot: dict) -> None:
+        self.current().merge(snapshot)
+
+    def export_json(self, path) -> None:
+        self.current().export_json(path)
+
+
+def scope_pair(
+    tracer_fallback: Optional[Tracer] = None,
+    metrics_fallback: Optional[Metrics] = None,
+) -> tuple[ScopedTracer, ScopedMetrics]:
+    """A matched (tracer, metrics) facade pair sharing nothing but intent."""
+    return ScopedTracer(tracer_fallback), ScopedMetrics(metrics_fallback)

@@ -1,0 +1,58 @@
+"""Multi-tenant analysis daemon: ``repro serve``.
+
+Turns the CLI's one-shot pipeline into a long-lived service (see
+``docs/serving.md``):
+
+* :mod:`repro.serve.protocol` — the versioned request/response envelope,
+  the canonical result payload both job kinds share, the taxonomy→HTTP
+  status mapping and the ``compare`` diff.
+* :mod:`repro.serve.quota` — deterministic per-client token buckets
+  riding on the analysis-budget idea: admission control before any work
+  queues.
+* :mod:`repro.serve.service` — the transport-free core: a bounded FIFO
+  job queue drained by worker threads over one shared
+  :class:`~repro.batch.pool.WarmPool` and
+  :class:`~repro.analysis.store.ArtifactStore`, with request-scoped
+  observability merged into a server-level view.
+* :mod:`repro.serve.daemon` — the stdlib ``ThreadingHTTPServer`` shell:
+  ``POST /v1/analyze``, ``GET /v1/jobs/<id>``, ``POST /v1/compare``,
+  ``GET /v1/stats``, SIGTERM-drained shutdown.
+"""
+
+from repro.serve.protocol import (
+    COMPARE_KEYS,
+    ENVELOPE_KEYS,
+    PROTOCOL_VERSION,
+    RESULT_KEYS,
+    STATUS_BY_KIND,
+    AnalyzeRequest,
+    canonical_json,
+    compare_payloads,
+    envelope,
+    http_status,
+    parse_request,
+    point_payload,
+    whatif_payload,
+)
+from repro.serve.quota import QuotaConfig, TokenBuckets
+from repro.serve.service import AnalysisService, JobRecord
+
+__all__ = [
+    "COMPARE_KEYS",
+    "ENVELOPE_KEYS",
+    "PROTOCOL_VERSION",
+    "RESULT_KEYS",
+    "STATUS_BY_KIND",
+    "AnalysisService",
+    "AnalyzeRequest",
+    "JobRecord",
+    "QuotaConfig",
+    "TokenBuckets",
+    "canonical_json",
+    "compare_payloads",
+    "envelope",
+    "http_status",
+    "parse_request",
+    "point_payload",
+    "whatif_payload",
+]

@@ -1,0 +1,199 @@
+"""Request-scoped observability: ScopedTracer/ScopedMetrics routing.
+
+These facades are installed *as* the process-wide ``STATE.tracer`` /
+``STATE.metrics`` by the serve daemon; instrumented call sites keep
+reading the singleton while each worker thread's pushed override
+receives exactly its own request's spans and counters.  The properties
+pinned here: fallback routing with an empty stack, per-thread isolation
+of overrides, stack (LIFO) semantics, span-binds-tracer-at-creation,
+and exact per-request attribution of shared-store traffic — the
+mechanism behind the ``store`` field of every serve envelope.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import (
+    STATE,
+    Metrics,
+    ScopedMetrics,
+    ScopedTracer,
+    Tracer,
+    install,
+    scope_pair,
+    uninstall,
+)
+
+
+def test_tracer_falls_back_with_empty_stack():
+    fallback = Tracer()
+    scoped = ScopedTracer(fallback)
+    assert scoped.current() is fallback
+    with scoped.span("work", step=1):
+        pass
+    assert [record["name"] for record in fallback.records] == ["work"]
+
+
+def test_tracer_override_routes_and_pops():
+    fallback = Tracer()
+    override = Tracer()
+    scoped = ScopedTracer(fallback)
+    scoped.push(override)
+    with scoped.span("scoped-work"):
+        pass
+    assert scoped.pop() is override
+    with scoped.span("server-work"):
+        pass
+    assert [r["name"] for r in override.records] == ["scoped-work"]
+    assert [r["name"] for r in fallback.records] == ["server-work"]
+
+
+def test_tracer_stack_is_lifo():
+    scoped = ScopedTracer(Tracer())
+    inner, outer = Tracer(), Tracer()
+    scoped.push(outer)
+    scoped.push(inner)
+    scoped.event("deep")
+    scoped.pop()
+    scoped.event("shallow")
+    scoped.pop()
+    assert [r["name"] for r in inner.records] == ["deep"]
+    assert [r["name"] for r in outer.records] == ["shallow"]
+
+
+def test_span_binds_tracer_at_creation():
+    """A span opened under an override records there even if it closes
+    after the pop — scopes cannot leak spans into the fallback."""
+    fallback = Tracer()
+    override = Tracer()
+    scoped = ScopedTracer(fallback)
+    scoped.push(override)
+    span = scoped.span("crosses-the-pop").__enter__()
+    scoped.pop()
+    span.__exit__(None, None, None)
+    assert [r["name"] for r in override.records] == ["crosses-the-pop"]
+    assert fallback.records == []
+
+
+def test_tracer_overrides_are_thread_local():
+    scoped = ScopedTracer(Tracer())
+    per_thread = {name: Tracer() for name in ("a", "b")}
+    barrier = threading.Barrier(2)
+
+    def work(name: str) -> None:
+        scoped.push(per_thread[name])
+        barrier.wait()  # both overrides active simultaneously
+        for index in range(3):
+            scoped.event(f"{name}-{index}")
+        scoped.pop()
+
+    threads = [
+        threading.Thread(target=work, args=(name,)) for name in ("a", "b")
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for name, tracer in per_thread.items():
+        assert [r["name"] for r in tracer.records] == [
+            f"{name}-0", f"{name}-1", f"{name}-2"
+        ]
+    assert scoped.fallback.records == []
+
+
+def test_metrics_override_isolation_across_threads():
+    scoped = ScopedMetrics(Metrics())
+    per_thread = {name: Metrics() for name in ("a", "b")}
+    barrier = threading.Barrier(2)
+
+    def work(name: str, amount: int) -> None:
+        scoped.push(per_thread[name])
+        barrier.wait()
+        for _ in range(amount):
+            scoped.counter("work.items").inc()
+        scoped.pop()
+
+    threads = [
+        threading.Thread(target=work, args=("a", 3)),
+        threading.Thread(target=work, args=("b", 5)),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert per_thread["a"].to_dict()["counters"]["work.items"] == 3
+    assert per_thread["b"].to_dict()["counters"]["work.items"] == 5
+    assert "work.items" not in scoped.fallback.to_dict()["counters"]
+
+
+def test_metrics_fallback_and_merge_roundtrip():
+    fallback = Metrics()
+    scoped = ScopedMetrics(fallback)
+    request = Metrics()
+    scoped.push(request)
+    scoped.counter("jobs").inc(2)
+    snapshot = scoped.to_dict()
+    scoped.pop()
+    scoped.merge(snapshot)  # no override: merges into the fallback
+    assert fallback.to_dict()["counters"]["jobs"] == 2
+
+
+def test_scope_pair_helper():
+    tracer, metrics = scope_pair()
+    assert isinstance(tracer, ScopedTracer)
+    assert isinstance(metrics, ScopedMetrics)
+    tracer.event("ping")
+    metrics.counter("pings").inc()
+    assert tracer.fallback.records[0]["name"] == "ping"
+    assert metrics.fallback.to_dict()["counters"]["pings"] == 1
+
+
+def test_store_attribution_through_installed_scope(tmp_path):
+    """The serve mechanism end to end: a shared store, the scoped pair
+    installed as STATE, two threads each see exactly their own traffic."""
+    from repro.analysis.store import ArtifactStore
+
+    saved = (STATE.enabled, STATE.tracer, STATE.metrics)
+    store = ArtifactStore(directory=tmp_path)
+    store.put("warm-key", {"x": 1}, kind="flow")
+    scoped_tracer, scoped_metrics = scope_pair()
+    install(scoped_tracer, scoped_metrics)
+    try:
+        views = {}
+        barrier = threading.Barrier(2)
+
+        def work(name: str, hits: int, misses: int) -> None:
+            metrics = Metrics()
+            scoped_metrics.push(metrics)
+            barrier.wait()
+            for _ in range(hits):
+                assert store.get("warm-key", kind="flow") == {"x": 1}
+            for index in range(misses):
+                assert store.get(f"cold-{name}-{index}", kind="flow") is None
+            scoped_metrics.pop()
+            views[name] = metrics.to_dict()["counters"]
+
+        threads = [
+            threading.Thread(target=work, args=("a", 4, 1)),
+            threading.Thread(target=work, args=("b", 2, 3)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    finally:
+        uninstall()
+        STATE.enabled, STATE.tracer, STATE.metrics = saved
+
+    assert views["a"]["store.hits"] == 4
+    assert views["a"]["store.misses"] == 1
+    assert views["b"]["store.hits"] == 2
+    assert views["b"]["store.misses"] == 3
+    for view in views.values():
+        assert view["store.gets"] == view["store.hits"] + view["store.misses"]
+        assert view["store.hits.kind.flow"] == view["store.hits"]
+    # The store's own (global) counters sum both requests.
+    assert store.gets == 10
+    assert store.hits == 6
+    assert store.misses == 4

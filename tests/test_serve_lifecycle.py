@@ -1,0 +1,280 @@
+"""Daemon lifecycle: SIGTERM drain, shutdown semantics, budget trips.
+
+The operational claims of ``repro serve``:
+
+* SIGTERM drains — every job admitted before the signal completes, and
+  the daemon's ``--trace-out`` / ``--metrics-out`` exports are flushed
+  whole (counted, parseable), then the process exits 0.
+* ``shutdown(drain=False)`` sheds still-queued jobs with a typed state
+  instead of leaving clients waiting on events that never fire.
+* A wedged analysis (runaway path enumeration, blown wall-clock) comes
+  back as a 422 envelope over a live socket — a typed refusal, not a
+  hung connection — because the guard budgets trip inside the worker.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve.daemon import make_server
+from repro.serve.service import AnalysisService
+
+REPO = Path(__file__).resolve().parent.parent
+FAST = {"kind": "point", "experiment": "exp1"}
+
+
+# ----------------------------------------------------------------------
+# In-process shutdown semantics
+# ----------------------------------------------------------------------
+
+
+def _wedged_service(**kwargs):
+    """A 1-worker service whose first job blocks on a gate (set by the
+    test); ``started`` fires once the worker has dequeued it."""
+    started = threading.Event()
+    gate = threading.Event()
+
+    def wedge(job):
+        started.set()
+        assert gate.wait(timeout=60)
+
+    service = AnalysisService(workers=1, job_hook=wedge, **kwargs)
+    return service, started, gate
+
+
+def test_shutdown_drains_queued_jobs():
+    service, started, gate = _wedged_service(queue_capacity=8)
+    service.start()
+    jobs = [service.submit(FAST) for _ in range(3)]
+    assert started.wait(timeout=60)
+
+    finisher = threading.Thread(target=service.shutdown, kwargs={"drain": True})
+    finisher.start()
+    # Admissions close immediately, even while the drain is in flight.
+    time.sleep(0.05)
+    from repro.errors import ShedError
+
+    with pytest.raises(ShedError, match="shutting down"):
+        service.submit(FAST)
+    gate.set()
+    finisher.join(timeout=180)
+    assert not finisher.is_alive()
+    for job in jobs:
+        assert job.done.is_set()
+        assert job.state == "done"
+    # Results of drained jobs remain fetchable after shutdown.
+    assert service.status_envelope(jobs[-1].id)[0] == 200
+
+
+def test_shutdown_without_drain_sheds_queued_jobs():
+    service, started, gate = _wedged_service(queue_capacity=8)
+    service.start()
+    jobs = [service.submit(FAST) for _ in range(3)]
+    assert started.wait(timeout=60)
+
+    finisher = threading.Thread(
+        target=service.shutdown, kwargs={"drain": False}
+    )
+    finisher.start()
+    # The queued (never-started) jobs resolve as shed errors promptly,
+    # even while the in-flight job is still wedged.
+    for job in jobs[1:]:
+        assert job.done.wait(timeout=60)
+        assert job.state == "error"
+        assert job.error_kind == "shed"
+    gate.set()
+    finisher.join(timeout=180)
+    assert not finisher.is_alive()
+    # The job that was already running still finished properly.
+    assert jobs[0].state == "done"
+
+
+def test_shutdown_restores_observability_state():
+    from repro.obs import STATE
+
+    before = (STATE.enabled, STATE.tracer, STATE.metrics)
+    service = AnalysisService(workers=1)
+    service.start()
+    assert STATE.tracer is service._scoped_tracer
+    service.shutdown()
+    assert (STATE.enabled, STATE.tracer, STATE.metrics) == before
+
+
+def test_shutdown_is_idempotent_and_restartable():
+    service = AnalysisService(workers=1)
+    service.shutdown()  # never started: no-op
+    with service:
+        job = service.submit(FAST)
+        assert service.wait(job.id, timeout=180)
+    service.shutdown()  # second shutdown: no-op
+    with service:  # restart works
+        job = service.submit(FAST)
+        assert service.wait(job.id, timeout=180)
+        assert job.state == "done"
+
+
+# ----------------------------------------------------------------------
+# Budget trips answer the socket instead of hanging it
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "budget",
+    [
+        {"max_paths": 1, "strict": True},
+        {"time_budget": 1e-6, "strict": True},
+        {"time_budget": 1e-6},
+    ],
+    ids=["strict-paths", "strict-wallclock", "lax-wallclock"],
+)
+def test_budget_trip_is_422_not_hang(budget):
+    with AnalysisService(workers=1) as service:
+        job = service.submit(dict(FAST, budget=budget))
+        assert service.wait(job.id, timeout=180)
+        status, env = service.status_envelope(job.id)
+        assert status == 422
+        assert env["state"] == "error"
+        assert env["error_kind"] == "budget"
+        assert env["result"] is None
+
+
+def test_budget_trip_over_live_socket():
+    """A runaway request answered 422 on the wire while the same daemon
+    keeps serving healthy requests."""
+    with AnalysisService(workers=2) as service:
+        server = make_server("127.0.0.1", 0, service)
+        listener = threading.Thread(target=server.serve_forever, daemon=True)
+        listener.start()
+        try:
+            port = server.server_address[1]
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", port, timeout=180
+            )
+            connection.request(
+                "POST",
+                "/v1/analyze",
+                body=json.dumps(
+                    dict(
+                        FAST,
+                        budget={"time_budget": 1e-6, "strict": True},
+                        wait=True,
+                        timeout=120,
+                    )
+                ),
+            )
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 422
+            assert payload["error_kind"] == "budget"
+            # Daemon is still healthy afterwards.
+            connection.request(
+                "POST",
+                "/v1/analyze",
+                body=json.dumps(dict(FAST, wait=True, timeout=120)),
+            )
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 200
+            assert payload["state"] == "done"
+            connection.close()
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+# ----------------------------------------------------------------------
+# SIGTERM drain of the real CLI daemon (subprocess)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.skipif(
+    not hasattr(signal, "SIGTERM") or sys.platform == "win32",
+    reason="POSIX signal semantics required",
+)
+def test_sigterm_drains_and_flushes_exports(tmp_path):
+    trace_path = tmp_path / "serve-trace.jsonl"
+    metrics_path = tmp_path / "serve-metrics.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "--trace-out",
+            str(trace_path),
+            "--metrics-out",
+            str(metrics_path),
+            "serve",
+            "--port",
+            "0",
+            "--serve-workers",
+            "1",
+        ],
+        cwd=str(REPO),
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        banner = process.stdout.readline().strip()
+        assert banner.startswith("serving on http://"), banner
+        port = int(banner.rsplit(":", 1)[1])
+
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=180)
+        # One completed round-trip, plus one job left *queued* when the
+        # signal lands — the drain must finish it anyway.
+        connection.request(
+            "POST", "/v1/analyze", body=json.dumps(dict(FAST, wait=True,
+                                                        timeout=120))
+        )
+        first = json.loads(connection.getresponse().read())
+        assert first["state"] == "done"
+        connection.request(
+            "POST",
+            "/v1/analyze",
+            body=json.dumps({"kind": "point", "experiment": "exp2"}),
+        )
+        second = json.loads(connection.getresponse().read())
+        assert second["state"] in ("queued", "running", "done")
+        connection.close()
+
+        process.send_signal(signal.SIGTERM)
+        stdout, stderr = process.communicate(timeout=180)
+        assert process.returncode == 0, stderr
+        assert "drained and stopped" in stdout
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate(timeout=30)
+
+    # Flushed, parseable trace: every line a span/event record, with the
+    # server-level serve.request spans re-parented under it.
+    lines = [
+        json.loads(line)
+        for line in trace_path.read_text().splitlines()
+        if line.strip()
+    ]
+    names = {record.get("name") for record in lines}
+    assert "serve.request" in names
+    assert "serve.job" in names
+
+    # Flushed metrics registry: both jobs drained to completion.
+    registry = json.loads(metrics_path.read_text())
+    assert registry["counters"]["serve.jobs.done"] == 2
+    assert registry["counters"].get("store.gets", 0) == (
+        registry["counters"].get("store.hits", 0)
+        + registry["counters"].get("store.misses", 0)
+    )

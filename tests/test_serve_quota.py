@@ -1,0 +1,137 @@
+"""Unit tests for the serve token-bucket quota (pure, fake-clock).
+
+Every assertion here is exact: the bucket arithmetic is a pure function
+of the injected clock, which is what lets the daemon promise
+*deterministic* 429s given a quota configuration.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigError, QuotaExceeded
+from repro.serve.quota import QuotaConfig, TokenBuckets
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make(capacity=2, refill=1.0, now=100.0):
+    clock = FakeClock(now)
+    return TokenBuckets(QuotaConfig(capacity, refill), clock=clock), clock
+
+
+def test_burst_up_to_capacity_then_refused():
+    buckets, _ = make(capacity=3)
+    for _ in range(3):
+        buckets.take("client")
+    with pytest.raises(QuotaExceeded):
+        buckets.take("client")
+    assert buckets.granted == 3
+    assert buckets.refused == 1
+
+
+def test_refill_is_continuous_and_capped():
+    buckets, clock = make(capacity=2, refill=2.0)
+    buckets.take("c")
+    buckets.take("c")
+    assert buckets.available("c") == pytest.approx(0.0)
+    clock.advance(0.25)  # 0.5 tokens: not enough
+    with pytest.raises(QuotaExceeded):
+        buckets.take("c")
+    clock.advance(0.25)  # exactly 1.0 tokens
+    buckets.take("c")
+    clock.advance(1000.0)  # refill never exceeds capacity
+    assert buckets.available("c") == pytest.approx(2.0)
+
+
+def test_retry_after_names_the_exact_deficit():
+    buckets, clock = make(capacity=1, refill=4.0)
+    buckets.take("c")
+    clock.advance(0.125)  # 0.5 tokens present
+    with pytest.raises(QuotaExceeded) as excinfo:
+        buckets.take("c")
+    assert excinfo.value.retry_after_seconds == pytest.approx(0.125)
+    assert excinfo.value.client == "c"
+    clock.advance(excinfo.value.retry_after_seconds)
+    buckets.take("c")  # the advertised wait is sufficient, exactly
+
+
+def test_refund_restores_one_token():
+    buckets, _ = make(capacity=2)
+    buckets.take("c")
+    buckets.take("c")
+    buckets.refund("c")
+    buckets.take("c")  # works again without any clock movement
+    with pytest.raises(QuotaExceeded):
+        buckets.take("c")
+
+
+def test_refund_never_exceeds_capacity():
+    buckets, _ = make(capacity=2)
+    buckets.refund("c")
+    buckets.refund("c")
+    assert buckets.available("c") == pytest.approx(2.0)
+
+
+def test_clients_have_independent_buckets():
+    buckets, _ = make(capacity=1)
+    buckets.take("a")
+    with pytest.raises(QuotaExceeded):
+        buckets.take("a")
+    buckets.take("b")  # unaffected
+
+
+def test_capacity_zero_disables_quota():
+    buckets, _ = make(capacity=0)
+    assert not buckets.enabled
+    for _ in range(1000):
+        buckets.take("anyone")
+    buckets.refund("anyone")
+    assert buckets.available("anyone") == float("inf")
+    assert buckets.granted == 0  # disabled quota keeps no counts
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        QuotaConfig(capacity=-1)
+    with pytest.raises(ConfigError):
+        QuotaConfig(capacity=2, refill_per_second=0.0)
+    QuotaConfig(capacity=0, refill_per_second=0.0)  # disabled: refill unused
+
+
+def test_take_is_thread_safe_and_exact():
+    """N threads racing one bucket: grants + refusals == attempts and
+    grants never exceed capacity (no clock movement)."""
+    buckets, _ = make(capacity=16, refill=1.0)
+    outcomes: list = []
+    barrier = threading.Barrier(8)
+
+    def work() -> None:
+        barrier.wait()
+        for _ in range(10):
+            try:
+                buckets.take("shared")
+                outcomes.append(True)
+            except QuotaExceeded:
+                outcomes.append(False)
+
+    threads = [threading.Thread(target=work) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(outcomes) == 80
+    assert sum(outcomes) == 16  # exactly capacity grants
+    assert buckets.granted == 16
+    assert buckets.refused == 64

@@ -19,6 +19,11 @@ not grow its block-set table without limit.
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+import textwrap
+
 import pytest
 
 from repro.batch.pool import WarmPool, derived, in_worker
@@ -147,6 +152,45 @@ class TestFallbackAndErrors:
                 assert pool.map(fn, [5]) == [10]
                 assert pool.fallbacks == 1
         assert metrics.to_dict()["counters"]["batch.pool.fallbacks"] == 1
+
+    def test_fallback_does_not_wedge_interpreter_exit(self):
+        # Regression: _fall_back used to shut the broken executor down
+        # with cancel_futures=True, racing terminate_broken()'s
+        # set_exception() on the same futures (3.11 has no
+        # cancelled-check there).  The manager thread then died before
+        # reaping workers and the interpreter hung forever at exit
+        # joining it.  A subprocess with a timeout is the only faithful
+        # probe for "exit completes".
+        script = textwrap.dedent(
+            """
+            from repro.batch.pool import WarmPool
+
+            pool = WarmPool(jobs=2)
+            items = [1, 2, (lambda: 3)]
+
+            def fn(context, item):
+                return item() * 2 if callable(item) else item * 2
+
+            assert pool.map(fn, items) == [2, 4, 6]
+            assert pool.fallbacks == 1
+            print("fell back cleanly")
+            # No pool.close(): exit must still complete promptly.
+            """
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "fell back cleanly" in proc.stdout
 
     def test_analysis_errors_propagate_without_fallback(self):
         with WarmPool(jobs=2) as pool:
