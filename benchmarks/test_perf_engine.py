@@ -50,6 +50,7 @@ PARALLEL_SPEEDUP_GATE = 1.3  # warm-pool jobs=2 sweep vs per-call pools
 SWEEP_WARM_SPEEDUP_GATE = 3.0  # geometry grid: warm store vs recompute
 WHATIF_P50_GATE_SECONDS = 0.050  # single-edit re-analysis, warm, ROADMAP 2
 SERVE_P99_GATE_MS = 500.0  # submit-to-result, 16 clients on a warm grid
+OPTIMIZE_EVALS_PER_SEC_GATE = 0.5  # layout-search evaluation throughput
 SERVE_CLIENTS = 16
 SERVE_REQUESTS_PER_CLIENT = 4
 WARM_REPEATS = 3
@@ -296,6 +297,47 @@ def _bench_whatif(experiment):
     }
 
 
+def _bench_optimize():
+    """Evaluation throughput of the layout/coloring search (ROADMAP 3).
+
+    A seeded ``optimize`` run on Experiment I at its own geometry: a
+    generation batch plus greedy/annealing restarts, every candidate
+    scored through a warm :class:`WhatIfSession` jump.  Each evaluation
+    is a *new* layout (the moved tasks' trace chains recompute), so the
+    throughput sits between the cold-build and single-edit extremes the
+    other sections measure; the gate is a conservative floor.
+    """
+    from repro.analysis.store import ArtifactStore
+    from repro.analysis.whatif import WhatIfSession
+    from repro.optimize import optimize
+
+    store = ArtifactStore(directory=None, memory_slots=8192)
+    with WhatIfSession("exp1", store=store) as probe:
+        config = probe._config
+    started = perf_counter()
+    outcome = optimize(
+        "exp1",
+        seed=1,
+        budget_evals=16,
+        generation=4,
+        patience=8,
+        restarts=2,
+        cache_budgets=[config],
+        store=store,
+    )
+    elapsed = perf_counter() - started
+    budget = outcome.default_budget
+    return {
+        "evals": outcome.evals_used,
+        "wall_seconds": round(elapsed, 4),
+        "evals_per_sec": round(outcome.evals_used / elapsed, 2),
+        "moves_logged": len(outcome.move_log),
+        "baseline_score": budget.baseline_score,
+        "best_score": budget.best_score,
+        "improvement_pct": budget.improvement_pct(),
+    }
+
+
 def _bench_serve():
     """Load-test the multi-tenant serve layer on a warm point grid.
 
@@ -429,6 +471,7 @@ def test_perf_engine():
             "sweep_warm_speedup_min": SWEEP_WARM_SPEEDUP_GATE,
             "whatif_warm_p50_max_ms": WHATIF_P50_GATE_SECONDS * 1e3,
             "serve_p99_max_ms": SERVE_P99_GATE_MS,
+            "optimize_evals_per_sec_min": OPTIMIZE_EVALS_PER_SEC_GATE,
         },
         "exp1": _bench_experiment(EXPERIMENT_I_SPEC),
         "exp2": _bench_experiment(EXPERIMENT_II_SPEC),
@@ -442,6 +485,7 @@ def test_perf_engine():
             "exp1": _bench_whatif("exp1"),
             "exp2": _bench_whatif("exp2"),
         },
+        "optimize": _bench_optimize(),
         "serve": _bench_serve(),
     }
     # The metrics the gates (and scripts/bench_gate_diff.py) watch.
@@ -458,6 +502,7 @@ def test_perf_engine():
             results["whatif"][key]["edits_per_sec"] for key in ("exp1", "exp2")
         ),
         "serve_requests_per_sec": results["serve"]["requests_per_sec"],
+        "optimize_evals_per_sec": results["optimize"]["evals_per_sec"],
     }
     (REPO_ROOT / "BENCH_perf.json").write_text(
         json.dumps(results, indent=2) + "\n"
@@ -504,6 +549,13 @@ def test_perf_engine():
         f"{serve['shed_under_capacity']} shed (overload pass: "
         f"{serve['shed_over_capacity']} shed)"
     )
+    opt = results["optimize"]
+    lines.append(
+        f"optimize: {opt['evals']} layout evals in "
+        f"{opt['wall_seconds'] * 1000:.0f} ms ({opt['evals_per_sec']} "
+        f"evals/s), score {opt['baseline_score']} -> {opt['best_score']} "
+        f"({opt['improvement_pct']:+.2f}%)"
+    )
     bomb = results["path_bomb"]
     lines.append(
         f"path bomb: {bomb['feasible_paths']} paths "
@@ -538,6 +590,13 @@ def test_perf_engine():
             f"{WHATIF_P50_GATE_SECONDS * 1e3:.0f} ms interactive gate "
             f"(see BENCH_perf.json)"
         )
+    assert opt["evals_per_sec"] >= OPTIMIZE_EVALS_PER_SEC_GATE, (
+        f"optimize throughput {opt['evals_per_sec']} evals/s below the "
+        f"{OPTIMIZE_EVALS_PER_SEC_GATE} evals/s gate (see BENCH_perf.json)"
+    )
+    assert opt["best_score"] <= opt["baseline_score"], (
+        "optimizer returned a best layout worse than the baseline"
+    )
     # Serve gates: p99 under the latency ceiling, every response
     # byte-identical, shedding only once queue capacity is exceeded.
     assert serve["p99_ms"] < SERVE_P99_GATE_MS, (

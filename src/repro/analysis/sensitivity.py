@@ -53,10 +53,27 @@ def critical_scaling_factor(
 ) -> float:
     """Binary-search the largest WCET scaling that stays schedulable.
 
-    Returns 0.0 when the system is unschedulable as given.  The CRPD costs
-    (``cpre``) are held constant — they model cache geometry, not task
-    length — so the factor isolates computation-time headroom.
+    Returns 0.0 when the system is unschedulable as given, and caps at
+    *upper* when it is schedulable everywhere probed.  The returned
+    factor is schedulable-side within *precision* of the true boundary:
+    schedulability is monotone non-increasing in the factor (WCETs only
+    grow), so bisection maintains ``boundary in [lo, hi]`` with ``hi``
+    unschedulable.  The CRPD costs (``cpre``) are held constant — they
+    model cache geometry, not task length — so the factor isolates
+    computation-time headroom.
     """
+    import math
+
+    if not (precision > 0) or not math.isfinite(precision):
+        # NaN compares false against everything, so without this guard a
+        # NaN (or zero/negative) precision spins the bisection forever
+        # once the float interval stops shrinking.
+        raise ValueError(f"precision must be a positive number, got {precision}")
+    if not (upper >= 1.0) or not math.isfinite(upper):
+        # upper < 1.0 inverts the bracket: the loop body never runs and
+        # the function returns lo = 1.0, *above* the requested cap.
+        raise ValueError(f"upper must be a finite factor >= 1.0, got {upper}")
+
     def schedulable(factor: float) -> bool:
         scaled = _scaled_system(system, factor)
         if scaled is None:
@@ -134,22 +151,33 @@ def breakdown_miss_penalty(
     """Largest integer Cmiss at which the system is still schedulable.
 
     Both the WCETs (via *model*) and the CRPD costs (lines x penalty)
-    scale with the penalty.  Returns None when even penalty 0 fails.
+    scale with the penalty, so schedulability is monotone non-increasing
+    in it and the integer bisection below returns the *exact* boundary:
+    the largest penalty in ``0..max_penalty`` that is schedulable
+    (``max_penalty`` itself when everything is).  Returns None when even
+    penalty 0 fails.
     """
+    if max_penalty < 0:
+        raise ValueError(f"max_penalty must be >= 0, got {max_penalty}")
+
     def schedulable(penalty: int) -> bool:
-        tasks = [
-            TaskSpec(
-                name=task.name,
-                wcet=model.wcet(task.name, penalty),
-                period=task.period,
-                priority=task.priority,
-                deadline=task.deadline,
-                jitter=task.jitter,
-            )
-            for task in system.tasks
-        ]
+        # TaskSpec itself rejects a WCET that outgrew its deadline, so
+        # the whole construction must sit inside the guard — not just
+        # the TaskSystem call.
         try:
-            scaled = TaskSystem(tasks=tasks)
+            scaled = TaskSystem(
+                tasks=[
+                    TaskSpec(
+                        name=task.name,
+                        wcet=model.wcet(task.name, penalty),
+                        period=task.period,
+                        priority=task.priority,
+                        deadline=task.deadline,
+                        jitter=task.jitter,
+                    )
+                    for task in system.tasks
+                ]
+            )
         except ValueError:
             return False  # a WCET outgrew its deadline
 

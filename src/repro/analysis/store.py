@@ -165,6 +165,11 @@ def _feed_program(digest: _Digest, layout: ProgramLayout) -> None:
         decl = program.arrays[name]
         feed(f"array={decl.name}:{decl.words}:{decl.element_size}")
     feed(f"layout={layout.code_base}:{layout.data_base}:{layout.data_alignment}")
+    # Pinned symbols change the address trace, so they are part of the
+    # placement identity.  Fed only when present, which keeps every key
+    # minted before symbol overrides existed byte-stable.
+    for name in sorted(layout.symbol_overrides):
+        feed(f"symbol={name}:{layout.symbol_overrides[name]}")
 
 
 def _feed_scenarios(digest: _Digest, scenarios: Scenarios) -> None:

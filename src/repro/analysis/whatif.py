@@ -35,11 +35,28 @@ edit                trace  sim  flow  paths  pair  wcet  wcrt
 ``geometry=SxWxL``  keep   redo redo  keep   redo  redo  redo
 ``period:T=N``      keep   keep keep  keep   keep  keep  T + lower
 ``array:T:J=W``     shift  ...  ...   T      T     T     redo
+``code:T=A``        T      T    T     keep   T     T     redo
+``data:T=A``        T      T    T     keep   T     T     redo
+``color:T:J=C``     T      T    T     keep   T     T     redo
+``swap:T1=T2``      T1,T2  ...  ...   keep   pairs both  redo
 ==================  =====  ===  ====  =====  ====  ====  ====
 
 ("shift": a footprint edit can move *other* tasks' layouts too — the
 stagger stride depends on the largest program — so per-task key diffing,
 not the edit's target, decides what actually recomputes.)
+
+The layout edits (``code:``/``data:``/``color:``/``swap:``) are the
+optimizer's neighbor moves: they pin explicit placements through a
+:class:`~repro.program.layout.LayoutAssignment` and only invalidate the
+moved task's trace chain (path profiles are structure-only, so they
+always survive a move).  Proposals that would overlap regions raise
+:class:`~repro.program.layout.LayoutError` *before* any session state
+changes, so a rejected move leaves the session untouched.
+
+A batch of edits applied together must be conflict-free:
+:func:`check_edit_conflicts` rejects two edits that write the same
+target (two ``period:T1=`` edits, a ``swap:`` plus any placement edit of
+a swapped task, ...) instead of silently letting the last one win.
 
 WCRT fixpoints warm-start from the previous fixpoint when provably
 sound: the busy-window recurrence ``f`` is monotone, so iterating from
@@ -92,12 +109,15 @@ class Edit:
 
     ``kind`` is one of ``"penalty"`` (new ``Cmiss``), ``"geometry"``
     (``(num_sets, ways, line_size)``), ``"period"`` (``task`` +
-    cycles) or ``"array"`` (``task`` + array ``index`` + new word
-    count; fuzz-spec bases only).
+    cycles), ``"array"`` (``task`` + array ``index`` + new word
+    count; fuzz-spec bases only), or a layout move: ``"code"`` /
+    ``"data"`` (``task`` + new base address), ``"color"`` (``task`` +
+    array ``index`` + page color) or ``"swap"`` (``task`` and ``value``
+    name the two tasks whose regions trade places).
     """
 
     kind: str
-    value: Union[int, tuple]
+    value: Union[int, tuple, str]
     task: "str | None" = None
     index: "int | None" = None
 
@@ -111,6 +131,12 @@ class Edit:
             return f"period:{self.task}={self.value}"
         if self.kind == "array":
             return f"array:{self.task}:{self.index}={self.value}"
+        if self.kind in ("code", "data"):
+            return f"{self.kind}:{self.task}={self.value:#x}"
+        if self.kind == "color":
+            return f"color:{self.task}:{self.index}={self.value}"
+        if self.kind == "swap":
+            return f"swap:{self.task}={self.value}"
         return f"{self.kind}={self.value!r}"
 
 
@@ -118,7 +144,8 @@ def parse_edit(text: str) -> Edit:
     """Parse the CLI edit grammar into an :class:`Edit`.
 
     ``penalty=N`` | ``geometry=SxWxL`` | ``period:TASK=N`` |
-    ``array:TASK:INDEX=WORDS``
+    ``array:TASK:INDEX=WORDS`` | ``code:TASK=ADDR`` | ``data:TASK=ADDR``
+    | ``color:TASK:INDEX=COLOR`` | ``swap:TASK=TASK``
     """
     if "=" not in text:
         raise ConfigError(f"edit {text!r} is missing '=<value>'")
@@ -133,9 +160,18 @@ def parse_edit(text: str) -> Edit:
             raise ConfigError(
                 f"edit {text!r}: geometry must be SETSxWAYSxLINE (e.g. 64x2x32)"
             )
-        return Edit(
-            kind="geometry", value=tuple(_int(part, text) for part in parts)
-        )
+        fields = ("num_sets", "ways", "line_size")
+        values = []
+        for name, part in zip(fields, parts):
+            value = _int(part, text)
+            if value < 1:
+                raise ConfigError(
+                    f"edit {text!r}: geometry {name} must be >= 1, got "
+                    f"{value} (hex like 0x40 splits on its 'x'; write "
+                    f"geometry fields in decimal)"
+                )
+            values.append(value)
+        return Edit(kind="geometry", value=tuple(values))
     if head.startswith("period:"):
         task = head.split(":", 1)[1]
         if not task:
@@ -153,9 +189,32 @@ def parse_edit(text: str) -> Edit:
             index=_int(parts[2], text),
             value=_int(raw, text),
         )
+    if head.startswith("code:") or head.startswith("data:"):
+        kind, task = head.split(":", 1)
+        if not task:
+            raise ConfigError(f"edit {text!r}: missing task name")
+        return Edit(kind=kind, task=task, value=_int(raw, text))
+    if head.startswith("color:"):
+        parts = head.split(":")
+        if len(parts) != 3 or not parts[1]:
+            raise ConfigError(
+                f"edit {text!r}: color edits are color:TASK:INDEX=COLOR"
+            )
+        return Edit(
+            kind="color",
+            task=parts[1],
+            index=_int(parts[2], text),
+            value=_int(raw, text),
+        )
+    if head.startswith("swap:"):
+        task = head.split(":", 1)[1]
+        if not task or not raw:
+            raise ConfigError(f"edit {text!r}: swap edits are swap:TASK=TASK")
+        return Edit(kind="swap", task=task, value=raw)
     raise ConfigError(
-        f"unknown edit {text!r}; expected penalty=, geometry=, period:TASK= "
-        "or array:TASK:INDEX="
+        f"unknown edit {text!r}; expected penalty=, geometry=, period:TASK=, "
+        "array:TASK:INDEX=, code:TASK=, data:TASK=, color:TASK:INDEX= or "
+        "swap:TASK="
     )
 
 
@@ -164,6 +223,58 @@ def _int(raw: str, context: str) -> int:
         return int(raw, 0)
     except ValueError:
         raise ConfigError(f"edit {context!r}: {raw!r} is not an integer") from None
+
+
+def edit_targets(edit: Edit) -> frozenset:
+    """The (field, ...) targets *edit* writes, for conflict detection.
+
+    A ``swap:`` writes both swapped tasks' ``code_base`` and
+    ``data_base``, so it conflicts with any ``code:``/``data:`` edit (or
+    other swap) touching either task.  It does not move pinned symbols,
+    so ``color:`` edits of the swapped tasks are compatible.
+    """
+    if edit.kind == "penalty":
+        return frozenset({("penalty",)})
+    if edit.kind == "geometry":
+        return frozenset({("geometry",)})
+    if edit.kind == "period":
+        return frozenset({("period", edit.task)})
+    if edit.kind == "array":
+        return frozenset({("array", edit.task, edit.index)})
+    if edit.kind in ("code", "data"):
+        return frozenset({(f"{edit.kind}_base", edit.task)})
+    if edit.kind == "color":
+        return frozenset({("symbol", edit.task, edit.index)})
+    if edit.kind == "swap":
+        targets = set()
+        for task in (edit.task, edit.value):
+            targets.update({("code_base", task), ("data_base", task)})
+        return frozenset(targets)
+    return frozenset({(edit.kind,)})
+
+
+def _edits_conflict(a: Edit, b: Edit) -> bool:
+    return bool(edit_targets(a) & edit_targets(b))
+
+
+def check_edit_conflicts(edits) -> None:
+    """Reject a batch where two edits write the same target.
+
+    Without this check the last edit silently wins (two ``period:T1=``
+    edits, say) — almost always a typo in an interactive loop and always
+    ambiguous in a scripted one.  Raises :class:`ConfigError` naming the
+    conflicting pair.
+    """
+    edits = list(edits)
+    for i, first in enumerate(edits):
+        for second in edits[i + 1 :]:
+            if _edits_conflict(first, second):
+                raise ConfigError(
+                    f"conflicting edits in one batch: "
+                    f"{first.describe()!r} and {second.describe()!r} write "
+                    "the same target; apply them in separate batches if "
+                    "the override is intended"
+                )
 
 
 @dataclass
@@ -333,6 +444,7 @@ class WhatIfSession:
         self._layouts: dict = {}
         self._scenarios: dict = {}
         self._order: tuple = ()
+        self._assignment = None
         self._rebuild_structure()
         # Previous-state snapshots driving invalidation accounting and
         # WCRT warm starts.
@@ -366,7 +478,7 @@ class WhatIfSession:
 
     # -- structure -----------------------------------------------------
     def _rebuild_structure(self) -> None:
-        from repro.program.layout import SystemLayout
+        from repro.program.layout import SystemLayout, apply_assignment
 
         if self._exp_spec is not None:
             spec = self._exp_spec
@@ -382,26 +494,70 @@ class WhatIfSession:
             self._scenarios = {
                 name: self._workloads[name].scenario_map() for name in self._order
             }
-            return
-        from repro.fuzz.build import _stagger_stride, build_program, scenarios_for
+        else:
+            from repro.fuzz.build import (
+                _stagger_stride,
+                build_program,
+                scenarios_for,
+            )
 
-        spec = self._fuzz_spec
-        built = [
-            build_program(task.program, f"t{index}")
-            for index, task in enumerate(spec.tasks)
-        ]
-        stride = (
-            _stagger_stride([program for program, _ in built])
-            if spec.stagger
-            else None
-        )
-        layout = SystemLayout(stride=stride)
-        self._order = tuple(f"t{index}" for index in range(len(spec.tasks)))
-        self._layouts = {}
-        self._scenarios = {}
-        for (program, inputs), name in zip(built, self._order):
-            self._layouts[name] = layout.place(program)
-            self._scenarios[name] = scenarios_for(inputs)
+            spec = self._fuzz_spec
+            built = [
+                build_program(task.program, f"t{index}")
+                for index, task in enumerate(spec.tasks)
+            ]
+            stride = (
+                _stagger_stride([program for program, _ in built])
+                if spec.stagger
+                else None
+            )
+            layout = SystemLayout(stride=stride)
+            self._order = tuple(f"t{index}" for index in range(len(spec.tasks)))
+            self._layouts = {}
+            self._scenarios = {}
+            for (program, inputs), name in zip(built, self._order):
+                self._layouts[name] = layout.place(program)
+                self._scenarios[name] = scenarios_for(inputs)
+        if self._assignment is not None:
+            programs = {
+                name: self._layouts[name].program for name in self._order
+            }
+            self._layouts = apply_assignment(programs, self._assignment)
+
+    def layout_assignment(self):
+        """The current placement as a hashable
+        :class:`~repro.program.layout.LayoutAssignment`."""
+        from repro.program.layout import assignment_of
+
+        return assignment_of(self._layouts)
+
+    def set_assignment(self, assignment, label: "str | None" = None) -> WhatIfResult:
+        """Jump the session's layout to *assignment* and re-analyse.
+
+        The optimizer's bulk entry: rather than expressing a candidate as
+        a chain of single-field layout edits, jump straight to its
+        placement.  Overlapping assignments raise
+        :class:`~repro.program.layout.LayoutError` before any session
+        state changes.  Incremental reuse still applies — only tasks
+        whose placement actually differs recompute their trace chain.
+        """
+        self._set_assignment(assignment)
+        return self._run_state(label or "assignment")
+
+    def _set_assignment(self, assignment) -> None:
+        from repro.program.layout import apply_assignment
+
+        programs = {name: self._layouts[name].program for name in self._order}
+        # Validate (and build) before mutating: a LayoutError here must
+        # leave the session exactly as it was.
+        layouts = apply_assignment(programs, assignment)
+        missing = [name for name in self._order if name not in layouts]
+        if missing:
+            from repro.program.layout import LayoutError
+
+            raise LayoutError(f"assignment is missing tasks {missing}")
+        self._assignment = assignment
+        self._layouts = {name: layouts[name] for name in self._order}
 
     def _task_specs(self, artifacts: dict) -> list[TaskSpec]:
         specs = []
@@ -447,6 +603,19 @@ class WhatIfSession:
             edit = parse_edit(edit)
         self._apply_edit(edit)
         return self._run_state(edit.describe())
+
+    def apply_all(self, edits) -> "list[WhatIfResult]":
+        """Apply a batch of edits, rejecting conflicting pairs up front.
+
+        Raises :class:`~repro.errors.ConfigError` (before any edit runs)
+        if two edits in the batch write the same target — see
+        :func:`check_edit_conflicts`.
+        """
+        parsed = [
+            parse_edit(edit) if isinstance(edit, str) else edit for edit in edits
+        ]
+        check_edit_conflicts(parsed)
+        return [self.apply(edit) for edit in parsed]
 
     def result(self) -> WhatIfResult:
         """The current state, analysing the base on first call."""
@@ -506,7 +675,88 @@ class WhatIfSession:
             )
             self._rebuild_structure()
             return
+        if edit.kind in ("code", "data", "color", "swap"):
+            self._apply_layout_edit(edit)
+            return
         raise ConfigError(f"unknown edit kind {edit.kind!r}")
+
+    def _apply_layout_edit(self, edit: Edit) -> None:
+        from dataclasses import replace
+
+        if edit.task not in self._order:
+            raise ConfigError(
+                f"unknown task {edit.task!r}; tasks are {list(self._order)}"
+            )
+        assignment = self.layout_assignment()
+        placement = assignment.placement(edit.task)
+        if edit.kind in ("code", "data"):
+            if edit.value < 0:
+                raise ConfigError(
+                    f"{edit.kind} base must be non-negative, got {edit.value}"
+                )
+            candidate = assignment.replace(
+                replace(placement, **{f"{edit.kind}_base": edit.value})
+            )
+        elif edit.kind == "color":
+            program = self._layouts[edit.task].program
+            names = list(program.arrays)
+            if not 0 <= edit.index < len(names):
+                raise ConfigError(
+                    f"task {edit.task!r} has arrays 0..{len(names) - 1}, "
+                    f"got index {edit.index}"
+                )
+            colors = self._config.page_colors
+            if not 0 <= edit.value < colors:
+                raise ConfigError(
+                    f"color must be in 0..{colors - 1} for this geometry, "
+                    f"got {edit.value}"
+                )
+            base = self._color_base(edit.value)
+            symbols = dict(placement.symbols)
+            symbols[names[edit.index]] = base
+            candidate = assignment.replace(
+                replace(placement, symbols=tuple(sorted(symbols.items())))
+            )
+        else:  # swap
+            other_name = edit.value
+            if other_name not in self._order:
+                raise ConfigError(
+                    f"unknown task {other_name!r}; tasks are {list(self._order)}"
+                )
+            if other_name == edit.task:
+                raise ConfigError(f"cannot swap task {edit.task!r} with itself")
+            other = assignment.placement(other_name)
+            # Trade region origins only: pinned symbols name arrays of
+            # their own program, so they stay with their task.
+            candidate = assignment.replace(
+                replace(
+                    placement,
+                    code_base=other.code_base,
+                    data_base=other.data_base,
+                )
+            ).replace(
+                replace(
+                    other,
+                    code_base=placement.code_base,
+                    data_base=placement.data_base,
+                )
+            )
+        self._set_assignment(candidate)
+
+    def _color_base(self, color: int) -> int:
+        """A concrete address in *color*'s band, in fresh space.
+
+        The band is computed against the *current* geometry; the pinned
+        address is absolute, so a later geometry edit reinterprets (but
+        never moves) it — exactly how a linker-placed symbol behaves.
+        """
+        top = 0
+        for layout in self._layouts.values():
+            for _, hi, _ in layout.intervals():
+                top = max(top, hi)
+        span = self._config.index_span
+        aligned = (top + span - 1) // span * span
+        return aligned + color * self._config.color_bytes
 
     # -- analysis ------------------------------------------------------
     def _run_state(self, label: str) -> WhatIfResult:
@@ -543,6 +793,12 @@ class WhatIfSession:
             )
             self._diff_artifacts(artifacts, analyzer, invalidated, reused)
             system = TaskSystem(tasks=self._task_specs(artifacts))
+            # The sensitivity helpers (critical scaling factor, breakdown
+            # miss penalty) re-score the *current* state; keep its
+            # analyzer/system reachable for them and for the optimizer's
+            # breakdown objective.
+            self._last_analyzer = analyzer
+            self._last_system = system
             wcrt, warm_started = self._wcrt_stage(
                 system, analyzer, ledger, invalidated, reused
             )

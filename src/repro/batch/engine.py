@@ -41,6 +41,7 @@ if TYPE_CHECKING:
     from repro.batch.pool import WarmPool
     from repro.guard.budget import AnalysisBudget
     from repro.guard.ledger import DegradationEvent
+    from repro.program.layout import LayoutAssignment
 
 __all__ = [
     "BatchResult",
@@ -57,12 +58,17 @@ class SweepPoint:
 
     ``cache`` overrides the default scaled 8KB geometry entirely (its
     miss penalty then wins over *miss_penalty*), mirroring
-    :func:`~repro.experiments.setup.build_context`.
+    :func:`~repro.experiments.setup.build_context`.  ``layout`` replaces
+    the experiment's default (strided) placement with an explicit
+    :class:`~repro.program.layout.LayoutAssignment` — the optimizer's
+    candidate generations are batches of such points.  Being hashable,
+    layout points dedup exactly like plain ones.
     """
 
     experiment: str
     miss_penalty: int = 20
     cache: CacheConfig | None = None
+    layout: "LayoutAssignment | None" = None
 
     def config(self) -> CacheConfig:
         if self.cache is not None:
@@ -71,11 +77,20 @@ class SweepPoint:
 
     def label(self) -> str:
         config = self.config()
-        return (
+        label = (
             f"{self.experiment}"
             f"/s{config.num_sets}w{config.ways}l{config.line_size}"
             f"p{config.miss_penalty}"
         )
+        if self.layout is not None:
+            import hashlib
+            import json
+
+            digest = hashlib.sha256(
+                json.dumps(self.layout.to_dict(), sort_keys=True).encode()
+            ).hexdigest()[:8]
+            label += f"/L{digest}"
+        return label
 
 
 @dataclass
@@ -102,9 +117,13 @@ class PointResult:
 
     def to_dict(self) -> dict:
         """JSON-ready summary (the ``repro sweep`` output row)."""
+        layout = (
+            self.point.layout.to_dict() if self.point.layout is not None else None
+        )
         return {
             "experiment": self.point.experiment,
             "label": self.point.label(),
+            **({"layout": layout} if layout is not None else {}),
             "miss_penalty": self.point.config().miss_penalty,
             "geometry": {
                 "num_sets": self.point.config().num_sets,
@@ -374,6 +393,15 @@ def _analyze_point(context: tuple, point: SweepPoint) -> PointResult:
     ) = context
     spec = {s.key: s for s in ALL_SPECS}[spec_key]
     config = point.config()
+    if point.layout is not None:
+        from repro.program.layout import apply_assignment
+
+        # Re-place the shipped programs at the point's explicit
+        # assignment; overlap raises LayoutError before any analysis.
+        layouts = apply_assignment(
+            {name: layouts[name].program for name in spec.priority_order},
+            point.layout,
+        )
     store = None
     if store_directory is not None:
         from repro.analysis.store import ArtifactStore

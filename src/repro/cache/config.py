@@ -109,6 +109,35 @@ class CacheConfig:
         return self.num_sets - 1
 
     # ------------------------------------------------------------------
+    # Page coloring (the layout optimizer's recoloring move)
+    # ------------------------------------------------------------------
+    @property
+    def index_span(self) -> int:
+        """Bytes covered by one pass over the set index."""
+        return self.num_sets * self.line_size
+
+    @property
+    def page_colors(self) -> int:
+        """Number of page colors the index span divides into.
+
+        OS-level cache coloring partitions sets by page frame; on this
+        scaled substrate a "page" is ``index_span / page_colors`` bytes —
+        8 colors (512-byte pages for the experiments' 4KB index span)
+        unless the geometry has fewer sets than colors.
+        """
+        return min(self.num_sets, 8)
+
+    @property
+    def color_bytes(self) -> int:
+        """Bytes per color band (the scaled page size)."""
+        return self.index_span // self.page_colors
+
+    def color_of(self, address: int) -> int:
+        """Page color of *address* — which band of the index span it maps to."""
+        self._check_address(address)
+        return (address % self.index_span) // self.color_bytes
+
+    # ------------------------------------------------------------------
     # Address decomposition (Example 2 in the paper)
     # ------------------------------------------------------------------
     def offset(self, address: int) -> int:

@@ -250,6 +250,14 @@ def _parse_geometry(text: str) -> tuple[int, int, int]:
             f"--geometry must look like SETSxWAYSxLINE (e.g. 64x4x32), "
             f"got {text!r}"
         ) from None
+    for name, value in (
+        ("num_sets", num_sets), ("ways", ways), ("line_size", line_size)
+    ):
+        if value < 1:
+            raise ConfigError(
+                f"geometry {text!r}: {name} must be >= 1, got {value} "
+                "(write geometry fields in decimal)"
+            )
     return num_sets, ways, line_size
 
 
@@ -327,10 +335,17 @@ def cmd_whatif(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
-    from repro.analysis.whatif import WhatIfSession, parse_edit
+    from repro.analysis.whatif import (
+        WhatIfSession,
+        check_edit_conflicts,
+        parse_edit,
+    )
 
     base = args.base if args.base in ("exp1", "exp2") else _load_spec(args.base)
     edits = [parse_edit(text) for text in (args.edit or [])]
+    # Duplicate/conflicting edits in one batch are a typo, not an intent:
+    # fail fast (exit 2) instead of silently letting the last one win.
+    check_edit_conflicts(edits)
     states = []
     with WhatIfSession(
         base,
@@ -360,6 +375,74 @@ def cmd_whatif(args: argparse.Namespace) -> int:
 def _report_degradations_once(result) -> None:
     for event in result.events:
         print(f"repro: degraded {event.describe()}", file=sys.stderr)
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    import json
+    import time
+    from pathlib import Path
+
+    from repro.errors import ConfigError
+    from repro.optimize import before_after_table, optimize, pareto_table
+
+    if args.experiment in ("exp1", "exp2"):
+        base = args.experiment
+    elif args.experiment in ("1", "2"):
+        base = f"exp{args.experiment}"
+    else:
+        raise ConfigError(
+            f"--experiment must be exp1, exp2, 1 or 2, got {args.experiment!r}"
+        )
+    cache_budgets = None
+    if args.cache_budgets:
+        from repro.cache.config import CacheConfig
+
+        cache_budgets = [
+            CacheConfig(
+                **dict(
+                    zip(
+                        ("num_sets", "ways", "line_size"),
+                        _parse_geometry(text),
+                    )
+                ),
+                miss_penalty=args.penalty,
+            )
+            for text in args.cache_budgets
+        ]
+    started = time.perf_counter()
+    outcome = optimize(
+        base,
+        seed=args.seed,
+        budget_evals=args.budget_evals,
+        method=args.method,
+        objective=args.objective,
+        approach=args.approach,
+        restarts=args.restarts,
+        generation=args.generation,
+        patience=args.patience,
+        cache_budgets=cache_budgets,
+        miss_penalty=args.penalty,
+        jobs=args.jobs,
+        budget=_budget_from(args),
+    )
+    elapsed = time.perf_counter() - started
+    print(before_after_table(outcome).render())
+    print()
+    print(pareto_table(outcome).render())
+    evals_per_sec = outcome.evals_used / elapsed if elapsed > 0 else 0.0
+    # Timing goes to stdout only — the JSON artifact stays byte-stable
+    # across runs of the same seed.
+    print(
+        f"\n{outcome.evals_used} evaluations in {elapsed:.1f}s "
+        f"({evals_per_sec:.1f} evals/s)"
+    )
+    if args.json:
+        path = Path(args.json)
+        path.write_text(
+            json.dumps(outcome.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {path}")
+    return 0
 
 
 def cmd_obs_summarize(args: argparse.Namespace) -> int:
@@ -681,6 +764,70 @@ def build_parser() -> argparse.ArgumentParser:
         "JSON to FILE",
     )
     p_whatif.set_defaults(func=cmd_whatif)
+
+    p_optimize = sub.add_parser(
+        "optimize",
+        help="seeded layout/coloring search minimizing system WCRT "
+        "(see docs/optimize.md)",
+    )
+    p_optimize.add_argument(
+        "--experiment", default="exp1", metavar="EXP",
+        help="experiment to optimize: exp1, exp2 (or 1/2; default: exp1)",
+    )
+    p_optimize.add_argument(
+        "--seed", type=int, default=0,
+        help="search seed; same seed => byte-identical move log and "
+        "Pareto front (default: 0)",
+    )
+    p_optimize.add_argument(
+        "--budget-evals", type=int, default=200, metavar="N",
+        help="total layout evaluations, split across cache budgets "
+        "(default: 200)",
+    )
+    p_optimize.add_argument(
+        "--method", choices=("greedy", "anneal"), default="anneal",
+        help="greedy descent only, or greedy restart 0 + annealing "
+        "restarts (default: anneal)",
+    )
+    p_optimize.add_argument(
+        "--objective", choices=("wcrt", "breakdown"), default="wcrt",
+        help="minimize system WCRT, or maximize the critical scaling "
+        "factor (default: wcrt)",
+    )
+    p_optimize.add_argument(
+        "--approach", type=int, choices=(1, 2, 3, 4), default=4,
+        help="CRPD approach the objective scores (default: 4)",
+    )
+    p_optimize.add_argument(
+        "--restarts", type=int, default=3,
+        help="annealing restarts including the greedy restart 0 "
+        "(default: 3)",
+    )
+    p_optimize.add_argument(
+        "--generation", type=int, default=6, metavar="N",
+        help="random candidates fanned through analyze_batch before the "
+        "local search (default: 6)",
+    )
+    p_optimize.add_argument(
+        "--patience", type=int, default=25, metavar="N",
+        help="stop a restart after N proposals without a new best "
+        "(default: 25)",
+    )
+    p_optimize.add_argument(
+        "--penalty", type=int, default=20, metavar="CYCLES",
+        help="cache miss penalty Cmiss (default: 20)",
+    )
+    p_optimize.add_argument(
+        "--cache-budgets", nargs="*", metavar="SETSxWAYSxLINE", default=None,
+        help="cache budgets for the Pareto axis (default: the experiment "
+        "geometry plus two set-halvings)",
+    )
+    p_optimize.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the timing-free run artifact (Pareto front + move "
+        "log) as JSON to FILE",
+    )
+    p_optimize.set_defaults(func=cmd_optimize)
 
     p_obs = sub.add_parser("obs", help="observability utilities")
     obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)

@@ -1,0 +1,164 @@
+"""Neighbor moves over layout assignments.
+
+The optimizer explores the space of
+:class:`~repro.program.layout.LayoutAssignment` values with four move
+kinds, mirroring what a linker script or an OS page-coloring policy can
+actually change:
+
+* ``shift_code`` / ``shift_data`` — slide one task's code or data base
+  by a line-size multiple, changing which cache-index band the region
+  occupies;
+* ``shift_task`` — slide a whole task (bases and pinned symbols
+  together), a pure recoloring of the task against the others;
+* ``recolor`` — pin one array into a chosen page-color band in fresh
+  address space (see :attr:`CacheConfig.page_colors`);
+* ``swap`` — trade two tasks' region origins.
+
+A proposal is *blind*: it may produce overlapping regions.  The search
+loop materialises the candidate (which raises
+:class:`~repro.program.layout.LayoutError` on overlap) and counts such
+proposals as invalid moves without spending an evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from repro.cache.config import CacheConfig
+from repro.program.builder import Program
+from repro.program.layout import LayoutAssignment, apply_assignment
+
+#: Line-size multiples a shift move draws its magnitude from.  Small
+#: steps fine-tune within an index band, large ones jump between bands.
+SHIFT_STEPS = (1, 2, 4, 8, 16, 32)
+
+#: Move kinds in draw order (weights are repetition counts).
+MOVE_KINDS = (
+    "shift_code",
+    "shift_code",
+    "shift_code",
+    "shift_data",
+    "shift_data",
+    "shift_data",
+    "shift_task",
+    "shift_task",
+    "recolor",
+    "recolor",
+    "swap",
+)
+
+
+@dataclass(frozen=True)
+class Move:
+    """One proposed neighbor: a kind, a printable detail, the candidate."""
+
+    kind: str
+    detail: str
+    assignment: LayoutAssignment
+
+
+class MoveProposer:
+    """Draws seeded neighbor moves for one system.
+
+    Stateless between calls apart from the programs and cache geometry it
+    was built with: the same RNG stream and current assignment always
+    produce the same move, which is what makes optimizer runs replayable.
+    """
+
+    def __init__(self, programs: Mapping[str, Program], config: CacheConfig):
+        self.programs = dict(programs)
+        self.config = config
+        self.tasks = tuple(self.programs)
+        self.arrays = {
+            name: tuple(program.arrays) for name, program in self.programs.items()
+        }
+
+    def propose(self, rng, assignment: LayoutAssignment) -> Move:
+        kind = rng.choice(MOVE_KINDS)
+        if kind == "swap" and len(self.tasks) < 2:
+            kind = "shift_code"
+        if kind == "recolor" and not any(self.arrays.values()):
+            kind = "shift_data"
+        task = rng.choice(self.tasks)
+        if kind == "recolor":
+            while not self.arrays[task]:
+                task = rng.choice(self.tasks)
+            index = rng.randrange(len(self.arrays[task]))
+            color = rng.randrange(self.config.page_colors)
+            return self._recolor(assignment, task, index, color)
+        if kind == "swap":
+            other = rng.choice(tuple(t for t in self.tasks if t != task))
+            return self._swap(assignment, task, other)
+        delta = rng.choice(SHIFT_STEPS) * self.config.line_size
+        if rng.random() < 0.5:
+            delta = -delta
+        return self._shift(assignment, task, kind, delta)
+
+    # -- concrete moves ------------------------------------------------
+    def _shift(
+        self, assignment: LayoutAssignment, task: str, kind: str, delta: int
+    ) -> Move:
+        placement = assignment.placement(task)
+        if kind == "shift_code":
+            candidate = replace(placement, code_base=placement.code_base + delta)
+        elif kind == "shift_data":
+            candidate = replace(placement, data_base=placement.data_base + delta)
+        else:  # shift_task: bases and pinned symbols move together
+            candidate = replace(
+                placement,
+                code_base=placement.code_base + delta,
+                data_base=placement.data_base + delta,
+                symbols=tuple(
+                    (name, base + delta) for name, base in placement.symbols
+                ),
+            )
+        return Move(
+            kind=kind,
+            detail=f"{kind}:{task}{delta:+#x}",
+            assignment=assignment.replace(candidate),
+        )
+
+    def _recolor(
+        self, assignment: LayoutAssignment, task: str, index: int, color: int
+    ) -> Move:
+        placement = assignment.placement(task)
+        name = self.arrays[task][index]
+        base = self._color_base(assignment, color)
+        symbols = dict(placement.symbols)
+        symbols[name] = base
+        candidate = replace(placement, symbols=tuple(sorted(symbols.items())))
+        return Move(
+            kind="recolor",
+            detail=f"color:{task}:{index}={color}",
+            assignment=assignment.replace(candidate),
+        )
+
+    def _swap(self, assignment: LayoutAssignment, a: str, b: str) -> Move:
+        pa, pb = assignment.placement(a), assignment.placement(b)
+        candidate = assignment.replace(
+            replace(pa, code_base=pb.code_base, data_base=pb.data_base)
+        ).replace(replace(pb, code_base=pa.code_base, data_base=pa.data_base))
+        return Move(kind="swap", detail=f"swap:{a}={b}", assignment=candidate)
+
+    # -- helpers -------------------------------------------------------
+    def _color_base(self, assignment: LayoutAssignment, color: int) -> int:
+        """An address of page color *color* in fresh space.
+
+        Mirrors :meth:`WhatIfSession._color_base`: one index span past
+        the current extent, plus the color's band offset, so a recolored
+        array conflicts with nothing physically while mapping exactly
+        where the color says.
+        """
+        layouts = apply_assignment(self.programs, assignment)
+        top = 0
+        for layout in layouts.values():
+            for _, hi, _ in layout.intervals():
+                top = max(top, hi)
+        span = self.config.index_span
+        aligned = (top + span - 1) // span * span
+        return aligned + color * self.config.color_bytes
+
+    def materialize(self, assignment: LayoutAssignment):
+        """Layouts of *assignment*; raises ``LayoutError`` on overlap."""
+        return apply_assignment(self.programs, assignment)

@@ -1,0 +1,48 @@
+"""Pareto front over (cache budget, objective score) points.
+
+The optimizer runs its search once per cache budget (geometry); each
+budget contributes its best point.  The front keeps the non-dominated
+ones: a point survives unless some other point has **no larger** cache
+and **no worse** score, with at least one strict improvement — the
+standard weak-dominance filter, minimizing both axes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def dominates(a: dict, b: dict, x_key: str, y_key: str) -> bool:
+    """True when *a* weakly dominates *b* (minimizing both keys)."""
+    ax, ay = a[x_key], a[y_key]
+    bx, by = b[x_key], b[y_key]
+    return ax <= bx and ay <= by and (ax < bx or ay < by)
+
+
+def pareto_front(
+    points: Iterable[dict],
+    x_key: str = "cache_bytes",
+    y_key: str = "score",
+) -> list[dict]:
+    """Non-dominated subset of *points*, sorted by *x_key* ascending.
+
+    Ties (identical coordinates) keep the first occurrence, so the front
+    is a deterministic function of the input order.
+    """
+    points = list(points)
+    front = []
+    seen = set()
+    for candidate in points:
+        if any(
+            dominates(other, candidate, x_key, y_key)
+            for other in points
+            if other is not candidate
+        ):
+            continue
+        coord = (candidate[x_key], candidate[y_key])
+        if coord in seen:
+            continue
+        seen.add(coord)
+        front.append(candidate)
+    front.sort(key=lambda p: (p[x_key], p[y_key]))
+    return front

@@ -1,0 +1,55 @@
+"""Before/after reporting for optimizer runs (Table II/III style)."""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import Table
+
+#: Same approach headers the experiment tables use.
+_APPROACH_HEADERS = ("App. 1", "App. 2", "App. 3", "App. 4")
+
+
+def before_after_table(outcome) -> Table:
+    """Per-task WCRT ``before -> after`` at the default cache budget.
+
+    Mirrors the paper's Table II/III layout (one row per task, one
+    column per CRPD approach) with each cell showing the default
+    layout's WCRT against the optimized one's.
+    """
+    budget = outcome.default_budget
+    before = budget.baseline_payload["wcrt"]
+    after = budget.best_payload["wcrt"]
+    tasks = list(budget.baseline_payload["wcet"])
+    title = (
+        f"Optimized layout ({outcome.experiment or 'spec'}, "
+        f"seed {outcome.seed}, {outcome.method}/{outcome.objective}): "
+        "WCRT before -> after"
+    )
+    table = Table(title=title, headers=["Task"] + list(_APPROACH_HEADERS))
+    for name in tasks:
+        cells = [name]
+        for value in ("1", "2", "3", "4"):
+            cells.append(f"{before[value][name]} -> {after[value][name]}")
+        table.add_row(*cells)
+    table.notes.append(
+        f"objective score {budget.baseline_score} -> {budget.best_score} "
+        f"({budget.improvement_pct():+.2f}% at approach "
+        f"{int(outcome.approach)}); {budget.evals} evaluations"
+    )
+    return table
+
+
+def pareto_table(outcome) -> Table:
+    """The Pareto front: objective score per cache budget."""
+    table = Table(
+        title="Pareto front (cache budget vs. objective score)",
+        headers=["Cache bytes", "Geometry", "Score", "Schedulable (A4)"],
+    )
+    for point in outcome.pareto:
+        geometry = point["cache"]
+        table.add_row(
+            point["cache_bytes"],
+            f"{geometry['num_sets']}x{geometry['ways']}x{geometry['line_size']}",
+            point["score"],
+            point["payload"]["schedulable"]["4"],
+        )
+    return table

@@ -141,3 +141,162 @@ class TestSystemLayout:
             regions.sort()
             for (s1, e1), (s2, e2) in zip(regions, regions[1:]):
                 assert e1 <= s2, f"overlap: [{s1:#x},{e1:#x}) vs [{s2:#x},{e2:#x})"
+
+
+def codeonly_program(name="c"):
+    """A program with code but no arrays — its data region is empty."""
+    b = ProgramBuilder(name)
+    b.const("x", 1)
+    b.add("y", "x", "x")
+    return b.build()
+
+
+class TestEmptyDataRegion:
+    """Regression: an empty data region must never count as overlapping."""
+
+    def test_data_base_inside_code_region_is_fine(self):
+        program = codeonly_program()
+        code_bytes = program.cfg.total_instructions * INSTRUCTION_SIZE
+        # The empty [data_base, data_base) span sits strictly inside the
+        # code region — the seed's half-open check called this overlap.
+        layout = ProgramLayout(
+            program=program, code_base=0x1000, data_base=0x1000 + code_bytes // 2
+        )
+        assert layout.data_end == layout.data_base
+
+    def test_data_base_at_code_base_is_fine(self):
+        program = codeonly_program()
+        ProgramLayout(program=program, code_base=0x1000, data_base=0x1000)
+
+    def test_system_placement_of_codeonly_programs(self):
+        system = SystemLayout()
+        layouts = [system.place(codeonly_program(f"c{i}")) for i in range(3)]
+        assert all(l.data_end == l.data_base for l in layouts)
+
+    def test_nonempty_overlap_still_rejected(self):
+        program = small_program()
+        with pytest.raises(LayoutError, match="overlap"):
+            ProgramLayout(program=program, code_base=0x1000, data_base=0x1004)
+
+
+class TestSymbolOverrides:
+    def test_override_moves_one_array_out_of_the_pack(self):
+        program = small_program()
+        layout = ProgramLayout(
+            program=program,
+            code_base=0x1000,
+            data_base=0x2000,
+            symbol_overrides={"b": 0x4000},
+        )
+        assert layout.symbol_base("b") == 0x4000
+        assert layout.symbol_base("a") == 0x2000
+        # The packed data region no longer includes the pinned array.
+        assert layout.data_end == 0x2000 + 8 * 4
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(LayoutError, match="unknown array"):
+            ProgramLayout(
+                program=small_program(),
+                code_base=0x1000,
+                data_base=0x2000,
+                symbol_overrides={"ghost": 0x4000},
+            )
+
+    def test_negative_override_rejected(self):
+        with pytest.raises(LayoutError, match="negative"):
+            ProgramLayout(
+                program=small_program(),
+                code_base=0x1000,
+                data_base=0x2000,
+                symbol_overrides={"b": -8},
+            )
+
+    def test_override_colliding_with_code_rejected(self):
+        with pytest.raises(LayoutError, match="'b'"):
+            ProgramLayout(
+                program=small_program(),
+                code_base=0x1000,
+                data_base=0x2000,
+                symbol_overrides={"b": 0x1000},
+            )
+
+    def test_place_at_names_both_tasks_on_collision(self):
+        from repro.program import SystemLayout
+
+        system = SystemLayout()
+        system.place_at(small_program("p1"), code_base=0x1000, data_base=0x2000)
+        with pytest.raises(LayoutError) as exc:
+            system.place_at(
+                small_program("p2"), code_base=0x1000, data_base=0x3000
+            )
+        message = str(exc.value)
+        assert "p1" in message and "p2" in message
+
+
+class TestLayoutAssignment:
+    def make_layouts(self):
+        from repro.program import SystemLayout
+
+        system = SystemLayout()
+        programs = {f"p{i}": small_program(f"p{i}") for i in range(2)}
+        return programs, {
+            name: system.place(program) for name, program in programs.items()
+        }
+
+    def test_round_trips_through_dict(self):
+        from repro.program import LayoutAssignment, assignment_of
+
+        _, layouts = self.make_layouts()
+        assignment = assignment_of(layouts)
+        clone = LayoutAssignment.from_dict(assignment.to_dict())
+        assert clone == assignment
+
+    def test_apply_assignment_reproduces_the_layouts(self):
+        from repro.program import apply_assignment, assignment_of
+
+        programs, layouts = self.make_layouts()
+        rebuilt = apply_assignment(programs, assignment_of(layouts))
+        for name, layout in layouts.items():
+            assert rebuilt[name].code_base == layout.code_base
+            assert rebuilt[name].data_base == layout.data_base
+            assert rebuilt[name].intervals() == layout.intervals()
+
+    def test_replace_swaps_one_placement(self):
+        from dataclasses import replace
+
+        from repro.program import assignment_of
+
+        _, layouts = self.make_layouts()
+        assignment = assignment_of(layouts)
+        moved = replace(assignment.placement("p1"), code_base=0x9000)
+        updated = assignment.replace(moved)
+        assert updated.placement("p1").code_base == 0x9000
+        assert updated.placement("p0") == assignment.placement("p0")
+        assert assignment.placement("p1").code_base != 0x9000  # frozen
+
+    def test_apply_assignment_rejects_overlap(self):
+        from dataclasses import replace
+
+        from repro.program import apply_assignment, assignment_of
+
+        programs, layouts = self.make_layouts()
+        assignment = assignment_of(layouts)
+        collided = assignment.replace(
+            replace(
+                assignment.placement("p1"),
+                code_base=assignment.placement("p0").code_base,
+            )
+        )
+        with pytest.raises(LayoutError):
+            apply_assignment(programs, collided)
+
+    def test_symbols_survive_the_round_trip(self):
+        from repro.program import LayoutAssignment, TaskPlacement
+
+        placement = TaskPlacement(
+            name="t", code_base=0x1000, data_base=0x2000,
+            symbols=(("a", 0x4000),),
+        )
+        assignment = LayoutAssignment(tasks=(placement,))
+        clone = LayoutAssignment.from_dict(assignment.to_dict())
+        assert clone.placement("t").symbol_overrides() == {"a": 0x4000}

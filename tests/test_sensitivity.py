@@ -168,3 +168,187 @@ class TestBreakdownPenalty:
 
         assert verdict(breakdown)
         assert not verdict(breakdown + 1)
+
+
+class TestBisectionGuards:
+    """The boundary-audit satellite: inputs that used to hang or lie."""
+
+    @pytest.mark.parametrize("precision", [0.0, -1e-3, float("nan")])
+    def test_bad_precision_rejected(self, precision):
+        with pytest.raises(ValueError, match="precision"):
+            critical_scaling_factor(
+                light_system(), zero_cpre, precision=precision
+            )
+
+    @pytest.mark.parametrize("upper", [0.5, 0.0, float("inf"), float("nan")])
+    def test_bad_upper_rejected(self, upper):
+        with pytest.raises(ValueError, match="upper"):
+            critical_scaling_factor(light_system(), zero_cpre, upper=upper)
+
+    def test_negative_max_penalty_rejected(self):
+        model = PenaltyModel(base={"high": 10}, misses={"high": 2})
+        with pytest.raises(ValueError, match="max_penalty"):
+            breakdown_miss_penalty(
+                light_system(), None, model, Approach.COMBINED, max_penalty=-1
+            )
+
+
+class _ConstantMissCRPD:
+    """Stub analyzer: every preemption costs `lines * penalty` cycles."""
+
+    def __init__(self, lines):
+        self.lines = lines
+
+    def cpre(self, preempted, preempting, approach, miss_penalty):
+        return self.lines * miss_penalty
+
+
+class TestHandDerivedBoundaries:
+    def test_scaling_boundary_single_task(self):
+        # One task, wcet 40, period 100, no CRPD: schedulable exactly
+        # while int(40 * f) <= 100, so the true boundary is f = 2.525.
+        system = TaskSystem(
+            tasks=[TaskSpec(name="solo", wcet=40, period=100, priority=1)]
+        )
+        precision = 1e-3
+        factor = critical_scaling_factor(system, zero_cpre, precision=precision)
+        assert 2.525 - precision <= factor <= 2.525
+        # Schedulable-side: the returned factor itself must pass.
+        assert int(40 * factor) <= 100
+
+    def test_breakdown_boundary_no_preemption(self):
+        # wcet(p) = 10 + 2p against a period/deadline of 100:
+        # schedulable iff p <= 45, and 45 must be returned *exactly*.
+        model = PenaltyModel.calibrate({"solo": 30}, {"solo": 50}, 10, 20)
+        assert model.base == {"solo": 10} and model.misses == {"solo": 2}
+        system = TaskSystem(
+            tasks=[TaskSpec(name="solo", wcet=30, period=100, priority=1)]
+        )
+        crpd = _ConstantMissCRPD(lines=0)
+        assert (
+            breakdown_miss_penalty(system, crpd, model, Approach.COMBINED)
+            == 45
+        )
+
+    def test_breakdown_boundary_with_crpd(self):
+        # high: wcet 10 + 2p, period 100.  low: wcet 20 + p, period 200,
+        # each preemption costs p (one line).  The low task's fixpoint is
+        # R = (20+p) + ceil(R/100) * (10+2p + p); hand iteration gives
+        # R = 40 + 7p for 100 < R <= 200, schedulable through p = 22
+        # (R = 194) and divergent at p = 23 (R = 280 > 200).
+        model = PenaltyModel(
+            base={"high": 10, "low": 20}, misses={"high": 2, "low": 1}
+        )
+        system = TaskSystem(
+            tasks=[
+                TaskSpec(name="high", wcet=30, period=100, priority=1),
+                TaskSpec(name="low", wcet=30, period=200, priority=2),
+            ]
+        )
+        crpd = _ConstantMissCRPD(lines=1)
+        assert (
+            breakdown_miss_penalty(system, crpd, model, Approach.COMBINED)
+            == 22
+        )
+
+    def test_breakdown_caps_at_max_penalty(self):
+        model = PenaltyModel(base={"solo": 10}, misses={"solo": 2})
+        system = TaskSystem(
+            tasks=[TaskSpec(name="solo", wcet=10, period=10**6, priority=1)]
+        )
+        crpd = _ConstantMissCRPD(lines=0)
+        assert (
+            breakdown_miss_penalty(
+                system, crpd, model, Approach.COMBINED, max_penalty=500
+            )
+            == 500
+        )
+
+    def test_breakdown_none_when_penalty_zero_fails(self):
+        # The model (not the input system's wcet) drives the probes:
+        # already at penalty 0 the modelled WCET of 150 exceeds the
+        # period of 100.
+        model = PenaltyModel(base={"solo": 150}, misses={"solo": 2})
+        system = TaskSystem(
+            tasks=[TaskSpec(name="solo", wcet=90, period=100, priority=1)]
+        )
+        crpd = _ConstantMissCRPD(lines=0)
+        assert (
+            breakdown_miss_penalty(system, crpd, model, Approach.COMBINED)
+            is None
+        )
+
+    @given(lines=st.integers(min_value=0, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_breakdown_monotone_in_crpd_magnitude(self, lines):
+        model = PenaltyModel(
+            base={"high": 10, "low": 20}, misses={"high": 2, "low": 1}
+        )
+        system = TaskSystem(
+            tasks=[
+                TaskSpec(name="high", wcet=30, period=100, priority=1),
+                TaskSpec(name="low", wcet=30, period=200, priority=2),
+            ]
+        )
+        a = breakdown_miss_penalty(
+            system, _ConstantMissCRPD(lines), model, Approach.COMBINED
+        )
+        b = breakdown_miss_penalty(
+            system, _ConstantMissCRPD(lines + 1), model, Approach.COMBINED
+        )
+        assert b is None or (a is not None and b <= a)
+
+
+class TestBreakdownVsOptimizer:
+    def test_optimizer_baseline_agrees_with_the_breakdown_penalty(
+        self, experiment1_context
+    ):
+        """At the breakdown penalty the optimizer must see a schedulable
+        baseline (critical scaling factor >= 1); one past it, not."""
+        from repro.analysis.store import ArtifactStore
+        from repro.analysis.whatif import WhatIfSession
+        from repro.experiments import EXPERIMENT_I_SPEC, build_context
+        from repro.optimize import optimize
+
+        ctx = experiment1_context
+        ctx40 = build_context(EXPERIMENT_I_SPEC, miss_penalty=40)
+        model = PenaltyModel.calibrate(
+            {n: a.wcet.cycles for n, a in ctx.artifacts.items()},
+            {n: a.wcet.cycles for n, a in ctx40.artifacts.items()},
+            20, 40,
+        )
+        approach = Approach.COMBINED
+        breakdown = breakdown_miss_penalty(
+            ctx.system, ctx.crpd, model, approach, context_switch=1049
+        )
+        assert breakdown is not None
+
+        store = ArtifactStore(directory=None, memory_slots=8192)
+
+        def baseline_at(penalty):
+            probe = WhatIfSession("exp1", miss_penalty=penalty, store=store)
+            try:
+                config = probe._config
+            finally:
+                probe.close()
+            outcome = optimize(
+                "exp1",
+                objective="breakdown",
+                approach=approach,
+                budget_evals=1,
+                generation=1,
+                method="greedy",
+                miss_penalty=penalty,
+                cache_budgets=[config],
+                store=store,
+            )
+            return outcome.default_budget
+
+        at_breakdown = baseline_at(breakdown)
+        past_breakdown = baseline_at(breakdown + 1)
+        # The breakdown objective scores -critical_scaling_factor, so
+        # schedulable <=> score <= -1.0.
+        assert at_breakdown.baseline_payload["schedulable"]["4"]
+        assert at_breakdown.baseline_score <= -1.0
+        assert not past_breakdown.baseline_payload["schedulable"]["4"]
+        assert past_breakdown.baseline_score > -1.0

@@ -13,6 +13,7 @@ from repro.analysis.whatif import (
     Edit,
     WhatIfSession,
     _warm_start_sound,
+    check_edit_conflicts,
     parse_edit,
 )
 from repro.batch import SweepPoint, analyze_batch
@@ -350,3 +351,234 @@ class TestWhatIfCli:
     def test_unknown_base_is_a_config_error(self, tmp_path):
         missing = tmp_path / "nope.json"
         assert main(["whatif", "--base", str(missing)]) == 2
+
+
+class TestLayoutEditGrammar:
+    """The code/data/color/swap grammar plus the conflict checker."""
+
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("code:mr=0x20000", Edit(kind="code", task="mr", value=0x20000)),
+            ("data:ed=4096", Edit(kind="data", task="ed", value=4096)),
+            ("color:mr:0=3", Edit(kind="color", task="mr", index=0, value=3)),
+            ("swap:mr=ed", Edit(kind="swap", task="mr", value="ed")),
+        ],
+    )
+    def test_grammar(self, text, expected):
+        assert parse_edit(text) == expected
+
+    def test_describe_round_trips(self):
+        for text in ("code:mr=0x20000", "data:ed=0x1000", "color:mr:0=3",
+                     "swap:mr=ed"):
+            edit = parse_edit(text)
+            assert parse_edit(edit.describe()) == edit
+
+    @pytest.mark.parametrize(
+        "text, fragment",
+        [
+            ("code:=0x1000", "missing task name"),
+            ("color:mr=3", "color:TASK:INDEX"),
+            ("swap:mr=", "swap:TASK=TASK"),
+            ("geometry=0x4x16", "num_sets"),
+            ("geometry=64x0x16", "ways"),
+            ("geometry=64x2x0", "line_size"),
+        ],
+    )
+    def test_rejects_malformed(self, text, fragment):
+        with pytest.raises(ConfigError, match=fragment):
+            parse_edit(text)
+
+    def test_geometry_error_explains_the_hex_trap(self):
+        # '0x4x16' is a classic paste of hex 0x40 geometry: the parser
+        # must say which field broke and why, not silently build a
+        # zero-set cache.
+        with pytest.raises(ConfigError, match="decimal"):
+            parse_edit("geometry=0x4x16")
+
+    @pytest.mark.parametrize(
+        "first, second",
+        [
+            ("penalty=10", "penalty=20"),
+            ("geometry=64x2x16", "geometry=32x2x16"),
+            ("period:t0=100", "period:t0=200"),
+            ("array:t0:0=16", "array:t0:0=32"),
+            ("code:t0=0x1000", "code:t0=0x2000"),
+            ("code:t0=0x1000", "swap:t0=t1"),
+            ("data:t1=0x1000", "swap:t0=t1"),
+            ("swap:t0=t1", "swap:t1=t2"),
+        ],
+    )
+    def test_conflicting_pairs_rejected(self, first, second):
+        edits = [parse_edit(first), parse_edit(second)]
+        with pytest.raises(ConfigError, match="conflict"):
+            check_edit_conflicts(edits)
+
+    @pytest.mark.parametrize(
+        "first, second",
+        [
+            ("penalty=10", "geometry=64x2x16"),
+            ("period:t0=100", "period:t1=200"),
+            ("code:t0=0x1000", "data:t0=0x2000"),
+            ("code:t0=0x1000", "code:t1=0x2000"),
+            ("color:t0:0=1", "color:t0:1=2"),
+            # A swap moves region origins, not pinned symbols, so it is
+            # compatible with recoloring an array of a swapped task.
+            ("color:t0:0=1", "swap:t0=t1"),
+        ],
+    )
+    def test_compatible_pairs_pass(self, first, second):
+        check_edit_conflicts([parse_edit(first), parse_edit(second)])
+
+    def test_conflict_error_names_both_edits(self):
+        with pytest.raises(ConfigError) as exc:
+            check_edit_conflicts(
+                [parse_edit("penalty=10"), parse_edit("penalty=20")]
+            )
+        message = str(exc.value)
+        assert "penalty=10" in message and "penalty=20" in message
+
+    def test_cli_conflicting_edits_exit_2(self):
+        rc = main(
+            ["whatif", "--base", "exp1", "--edit", "penalty=10",
+             "--edit", "penalty=40"]
+        )
+        assert rc == 2
+
+
+class TestLayoutEditsOnSession:
+    def names(self, session):
+        return list(session._order)
+
+    def test_code_shift_changes_the_analysis(self):
+        with observed():
+            session = WhatIfSession(small_spec())
+            try:
+                base = session.result()
+                t0 = self.names(session)[0]
+                old_base = session._layouts[t0].code_base
+                # +24 is not a multiple of the 64-byte index span, so the
+                # code block really lands on different cache sets (a full
+                # index-span shift would be an analysis no-op).
+                moved = session.apply(
+                    Edit(kind="code", task=t0, value=old_base + 24)
+                )
+                assert moved.signature() != base.signature()
+                back = session.apply(Edit(kind="code", task=t0, value=old_base))
+                assert back.signature() == base.signature()
+            finally:
+                session.close()
+
+    def test_color_pins_array_into_the_requested_band(self):
+        session = WhatIfSession(small_spec())
+        try:
+            t0 = self.names(session)[0]
+            config = session._config
+            session.apply(Edit(kind="color", task=t0, index=0, value=2))
+            layout = session._layouts[t0]
+            name = next(iter(layout.program.arrays))
+            base = layout.symbol_overrides[name]
+            assert config.color_of(base) == 2
+        finally:
+            session.close()
+
+    def test_swap_trades_region_origins(self):
+        session = WhatIfSession(small_spec())
+        try:
+            a, b = self.names(session)
+            before = {
+                n: (session._layouts[n].code_base, session._layouts[n].data_base)
+                for n in (a, b)
+            }
+            session.apply(Edit(kind="swap", task=a, value=b))
+            assert (
+                session._layouts[a].code_base,
+                session._layouts[a].data_base,
+            ) == before[b]
+            assert (
+                session._layouts[b].code_base,
+                session._layouts[b].data_base,
+            ) == before[a]
+        finally:
+            session.close()
+
+    def test_rejected_overlap_leaves_the_session_untouched(self):
+        from repro.program.layout import LayoutError
+
+        session = WhatIfSession(small_spec())
+        try:
+            base = session.result()
+            a, b = self.names(session)
+            bad = session.layout_assignment()
+            bad = bad.replace(
+                type(bad.placement(a))(
+                    name=a,
+                    code_base=bad.placement(b).code_base,
+                    data_base=bad.placement(a).data_base,
+                    symbols=bad.placement(a).symbols,
+                )
+            )
+            with pytest.raises(LayoutError):
+                session.set_assignment(bad)
+            assert session.result().signature() == base.signature()
+        finally:
+            session.close()
+
+    def test_set_assignment_round_trip(self):
+        session = WhatIfSession(small_spec())
+        try:
+            base = session.result()
+            home = session.layout_assignment()
+            t0 = self.names(session)[0]
+            session.apply(
+                Edit(
+                    kind="code",
+                    task=t0,
+                    value=session._layouts[t0].code_base + 128,
+                )
+            )
+            restored = session.set_assignment(home)
+            assert restored.signature() == base.signature()
+        finally:
+            session.close()
+
+    def test_layout_edits_survive_an_array_resize(self):
+        # An array edit rebuilds programs from the spec; the session must
+        # re-apply the standing layout assignment on the new programs.
+        session = WhatIfSession(small_spec())
+        try:
+            t0 = self.names(session)[0]
+            moved = session._layouts[t0].code_base + 64
+            session.apply(Edit(kind="code", task=t0, value=moved))
+            session.apply(Edit(kind="array", task=t0, index=0, value=32))
+            assert session._layouts[t0].code_base == moved
+        finally:
+            session.close()
+
+    def test_apply_all_checks_conflicts_first(self):
+        session = WhatIfSession(small_spec())
+        try:
+            base = session.result()
+            with pytest.raises(ConfigError, match="conflict"):
+                session.apply_all(["penalty=15", "penalty=25"])
+            # Nothing was applied.
+            assert session.result().signature() == base.signature()
+            results = session.apply_all(["penalty=15", "geometry=16x2x8"])
+            assert len(results) == 2
+        finally:
+            session.close()
+
+    def test_bad_layout_edit_values(self):
+        session = WhatIfSession(small_spec())
+        try:
+            t0 = self.names(session)[0]
+            with pytest.raises(ConfigError, match="unknown task"):
+                session.apply(Edit(kind="code", task="ghost", value=0x1000))
+            with pytest.raises(ConfigError, match="negative"):
+                session.apply(Edit(kind="data", task=t0, value=-4))
+            with pytest.raises(ConfigError, match="color"):
+                session.apply(Edit(kind="color", task=t0, index=0, value=99))
+            with pytest.raises(ConfigError, match="itself"):
+                session.apply(Edit(kind="swap", task=t0, value=t0))
+        finally:
+            session.close()
